@@ -1,0 +1,405 @@
+// Command crashprone is the road-asset-manager-facing tool built on the
+// crash-proneness library:
+//
+//	crashprone generate -out ./data         # synthesize study CSVs
+//	crashprone summarize -in ./data/crash.csv
+//	crashprone sweep -phase 2               # threshold sweep + best pick
+//	crashprone rules -threshold 8           # decision-tree rule extraction
+//	crashprone cluster -k 32                # phase 3 clustering report
+//	crashprone crisp                        # full CRISP-DM process report
+//
+// All subcommands accept -scale small|paper and -seed N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"roadcrash/internal/core"
+	"roadcrash/internal/crisp"
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/roadnet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = cmdGenerate(args)
+	case "summarize":
+		err = cmdSummarize(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "rules":
+		err = cmdRules(args)
+	case "cluster":
+		err = cmdCluster(args)
+	case "rank":
+		err = cmdRank(args)
+	case "crisp":
+		err = cmdCrisp(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "crashprone: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashprone: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: crashprone <command> [flags]
+
+commands:
+  generate   synthesize the study datasets as CSV files
+  summarize  print schema and distribution statistics for a dataset CSV
+  sweep      run the crash-proneness threshold sweep (phase 1 or 2)
+  rules      grow a decision tree at one threshold and print its rules
+  cluster    run the phase 3 k-means clustering and crash-count ranges
+  rank       rank road segments by predicted crash proneness
+  crisp      run the whole study under the CRISP-DM process framework`)
+}
+
+// studyFlags wires the shared -scale and -seed flags into fs.
+func studyFlags(fs *flag.FlagSet) (*string, *uint64) {
+	scale := fs.String("scale", "paper", "study scale: paper or small")
+	seed := fs.Uint64("seed", 0, "override the network seed (0 keeps the default)")
+	return scale, seed
+}
+
+func buildConfig(scale string, seed uint64) (core.Config, error) {
+	var cfg core.Config
+	switch scale {
+	case "paper":
+		cfg = core.DefaultConfig()
+	case "small":
+		cfg = core.SmallConfig()
+	default:
+		return cfg, fmt.Errorf("unknown scale %q", scale)
+	}
+	if seed != 0 {
+		cfg.Network.Seed = seed
+	}
+	return cfg, nil
+}
+
+func newStudy(scale string, seed uint64) (*core.Study, error) {
+	cfg, err := buildConfig(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewStudy(cfg)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", ".", "output directory")
+	scale, seed := studyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := buildConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	net, err := roadnet.Generate(cfg.Network)
+	if err != nil {
+		return err
+	}
+	study, err := roadnet.ExtractStudy(net, cfg.Study)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, ds *data.Dataset) error {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ds.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d instances)\n", path, ds.Len())
+		return f.Close()
+	}
+	if err := write("crash.csv", study.Crash); err != nil {
+		return err
+	}
+	if err := write("nocrash.csv", study.NoCrash); err != nil {
+		return err
+	}
+	segs, total, surveyed := net.Totals()
+	fmt.Printf("network: %d segments, %d with crashes, %d crashes (%d on surveyed roads)\n",
+		len(net.Segments), segs, total, surveyed)
+	return nil
+}
+
+func cmdSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("summarize: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := data.ReadCSV(filepath.Base(*in), f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ds.String())
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	phase := fs.Int("phase", 2, "modeling phase: 1 (crash/no-crash) or 2 (crash only)")
+	scale, seed := studyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	study, err := newStudy(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	var rows []core.SweepRow
+	var title string
+	switch *phase {
+	case 1:
+		title = "Phase 1 sweep (crash and no-crash dataset)"
+		rows, err = study.Table3()
+	case 2:
+		title = "Phase 2 sweep (crash-only dataset)"
+		rows, err = study.Table4()
+	default:
+		return fmt.Errorf("sweep: phase must be 1 or 2")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(core.RenderSweep(title, rows))
+	best, err := core.BestThreshold(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best crash-proneness threshold by MCPV: >%d crashes per 4 years\n", best)
+	return nil
+}
+
+func cmdRules(args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	threshold := fs.Int("threshold", 8, "crash-proneness threshold")
+	top := fs.Int("top", 10, "print the N most crash-prone rules")
+	scale, seed := studyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	study, err := newStudy(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	ds, err := study.CrashOnlyDataset().CountThresholdTarget(roadnet.CrashCountAttr, *threshold, "crash_prone")
+	if err != nil {
+		return err
+	}
+	target := ds.MustAttrIndex("crash_prone")
+	cfg := study.Config.Tree
+	var feats []int
+	for _, name := range roadnet.RoadAttrNames() {
+		feats = append(feats, ds.MustAttrIndex(name))
+	}
+	cfg.Features = feats
+	dt, err := tree.Grow(ds, target, cfg)
+	if err != nil {
+		return err
+	}
+	rules := dt.Rules()
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Value > rules[j].Value })
+	if *top > len(rules) {
+		*top = len(rules)
+	}
+	fmt.Printf("decision tree at threshold >%d: %d leaves, depth %d\n", *threshold, dt.Leaves(), dt.Depth())
+	fmt.Printf("top %d crash-prone rules:\n", *top)
+	for _, r := range rules[:*top] {
+		fmt.Printf("  P(crash prone)=%.2f (n=%d):\n", r.Value, r.N)
+		for _, c := range r.Conditions {
+			fmt.Printf("    %s\n", c)
+		}
+	}
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	k := fs.Int("k", 32, "cluster count")
+	profiles := fs.Bool("profiles", false, "print per-cluster attribute profiles")
+	scale, seed := studyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := buildConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	cfg.ClusterK = *k
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := study.Phase3()
+	if err != nil {
+		return err
+	}
+	fmt.Println(core.RenderFigure4(res))
+	if *profiles {
+		for _, c := range res.Clusters {
+			p, ok := res.ProfileFor(c.Cluster)
+			if !ok {
+				continue
+			}
+			fmt.Printf("cluster %d (median %.0f crashes, n=%d):", c.Cluster, c.Counts.Median, c.Size)
+			for _, sig := range p.Top(3) {
+				fmt.Printf("  %s %+.1fsd", sig.Attr, sig.Z)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	threshold := fs.Int("threshold", 8, "crash-proneness threshold")
+	top := fs.Int("top", 20, "segments to list")
+	scale, seed := studyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	study, err := newStudy(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	scores, err := study.RankSegments(*threshold, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d segments by P(crash prone) at threshold >%d:\n", len(scores), *threshold)
+	fmt.Printf("%-10s  %-8s  %-10s  %-8s  %s\n", "segment", "risk", "crashes/4y", "F60", "AADT")
+	for _, s := range scores {
+		fmt.Printf("%-10d  %-8.3f  %-10d  %-8.3f  %.0f\n", s.SegmentID, s.Risk, s.CrashCount, s.F60, s.AADT)
+	}
+	return nil
+}
+
+func cmdCrisp(args []string) error {
+	fs := flag.NewFlagSet("crisp", flag.ExitOnError)
+	scale, seed := studyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := buildConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	var study *core.Study
+	var best1, best2 int
+	p := crisp.New("road crash proneness study")
+	p.Add(crisp.BusinessUnderstanding, crisp.Step{Name: "goals", Run: func(log *crisp.Log) (string, error) {
+		log.Notef("goal: quantify crash proneness of 1 km road segments")
+		log.Notef("improve on the crash/no-crash model via a threshold sweep")
+		return "business goal: identify crash-prone road segments for works programming", nil
+	}})
+	p.Add(crisp.DataUnderstanding, crisp.Step{Name: "generate and profile", Run: func(log *crisp.Log) (string, error) {
+		var err error
+		study, err = core.NewStudy(cfg)
+		if err != nil {
+			return "", err
+		}
+		segs, total, surveyed := study.Net.Totals()
+		log.Notef("network: %d segments, %d with crashes", len(study.Net.Segments), segs)
+		log.Notef("crashes: %d total, %d on F60-surveyed roads", total, surveyed)
+		return fmt.Sprintf("usable crash instances: %d; zero-altered counting set: %d",
+			study.CrashOnlyDataset().Len(), study.CombinedDataset().Len()-study.CrashOnlyDataset().Len()), nil
+	}})
+	p.Add(crisp.DataPreparation, crisp.Step{Name: "derive crash-proneness series", Run: func(log *crisp.Log) (string, error) {
+		rows, err := study.Table1()
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
+			log.Notef("%s: %d non-prone vs %d prone", r.Label, r.NonProne, r.Prone)
+		}
+		return fmt.Sprintf("derived %d crash-proneness datasets", len(rows)), nil
+	}})
+	p.Add(crisp.Modeling, crisp.Step{Name: "phase 1 and 2 tree sweeps", Run: func(log *crisp.Log) (string, error) {
+		t3, err := study.Table3()
+		if err != nil {
+			return "", err
+		}
+		t4, err := study.Table4()
+		if err != nil {
+			return "", err
+		}
+		if best1, err = core.BestThreshold(t3); err != nil {
+			return "", err
+		}
+		if best2, err = core.BestThreshold(t4); err != nil {
+			return "", err
+		}
+		log.Notef("phase 1 MCPV peak at >%d", best1)
+		log.Notef("phase 2 MCPV peak at >%d", best2)
+		return "tree sweeps complete", nil
+	}})
+	p.Add(crisp.Evaluation, crisp.Step{Name: "assess with MCPV, Kappa and clustering", Run: func(log *crisp.Log) (string, error) {
+		res, err := study.Phase3()
+		if err != nil {
+			return "", err
+		}
+		log.Notef("clustering: %d very-low-crash clusters, ANOVA p=%.3g", res.VeryLowClusters, res.Anova.PValue)
+		return fmt.Sprintf("crash-proneness threshold selected between >%d and >%d crashes per 4 years", min(best1, best2), max(best1, best2)), nil
+	}})
+	p.Add(crisp.Deployment, crisp.Step{Name: "report", Run: func(log *crisp.Log) (string, error) {
+		return "threshold and rule set handed to road asset management", nil
+	}})
+	if err := p.Run(); err != nil {
+		return err
+	}
+	fmt.Print(p.Report())
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from the synthetic QDTMR-substitute network:
+//
+//	experiments                  # everything, paper scale
+//	experiments -scale small     # reduced scale for a quick look
+//	experiments -only table4     # a single experiment
+//	experiments -seed 7          # different simulated world
+//
+// Experiment names: table1 table2 table3 table4 table5 figure1 figure2
+// figure3 figure4 support baseline all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"roadcrash/internal/core"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "study scale: paper or small")
+	only := flag.String("only", "all", "experiment to run (table1..table5, figure1..figure4, support, all)")
+	seed := flag.Uint64("seed", 0, "override the network seed (0 keeps the calibrated default)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *scale {
+	case "paper":
+	case "small":
+		cfg = core.SmallConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Network.Seed = *seed
+	}
+
+	if err := run(cfg, strings.ToLower(*only)); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg core.Config, only string) error {
+	fmt.Printf("generating study (%d segments, seed %d)...\n\n", cfg.Network.Segments, cfg.Network.Seed)
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	want := func(name string) bool { return only == "all" || only == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		rows, err := study.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderTable1(rows))
+	}
+	if want("table2") {
+		ran = true
+		fmt.Println(core.Table2Demo())
+	}
+	if want("table3") {
+		ran = true
+		rows, err := study.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderSweep("Table 3. Phase 1 regression and decision trees (crash and no-crash dataset)", rows))
+		best, err := core.BestThreshold(rows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("phase 1 best threshold by MCPV: >%d\n\n", best)
+	}
+	if want("table4") {
+		ran = true
+		rows, err := study.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderSweep("Table 4. Phase 2 regression and decision trees (crash-only dataset)", rows))
+		best, err := core.BestThreshold(rows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("phase 2 best threshold by MCPV: >%d\n\n", best)
+	}
+	if want("table5") {
+		ran = true
+		rows, err := study.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderTable5(rows))
+	}
+	if want("figure1") {
+		ran = true
+		chart, _ := study.Figure1()
+		fmt.Println(chart)
+	}
+	if want("figure2") {
+		ran = true
+		chart, err := study.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart)
+	}
+	if want("figure3") {
+		ran = true
+		chart, err := study.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart)
+	}
+	if want("figure4") {
+		ran = true
+		res, err := study.Phase3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure4(res))
+	}
+	if want("support") {
+		ran = true
+		rows, err := study.SupportingModelSweep()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderSupport(rows))
+	}
+	if want("baseline") {
+		ran = true
+		rows, err := study.StatisticalBaseline()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderBaseline(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", only)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Clusteranalysis reproduces phase 3: k-means over the crash-only road
+// segments on their road attributes, the per-cluster crash-count ranges of
+// Figure 4, and the one-way ANOVA backing the claim that cluster crash
+// levels are not random.
+//
+//	go run ./examples/clusteranalysis [-k 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"roadcrash/internal/core"
+)
+
+func main() {
+	k := flag.Int("k", 16, "number of clusters (paper uses 32 at full scale)")
+	paper := flag.Bool("paper", false, "run at paper scale")
+	flag.Parse()
+
+	cfg := core.SmallConfig()
+	if *paper {
+		cfg = core.DefaultConfig()
+	}
+	cfg.ClusterK = *k
+
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Phase3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.RenderFigure4(res))
+
+	fmt.Println("interpretation:")
+	fmt.Printf("  %d clusters keep their inter-quartile crash range within 0-4 crashes;\n", res.VeryLowClusters)
+	fmt.Println("  members of those clusters share road attributes AND low crash counts,")
+	fmt.Println("  which supports the existence of non-crash-prone roads: crash counts")
+	fmt.Println("  follow the attributes the clustering saw, not chance alone.")
+	fmt.Printf("  ANOVA on cluster means: F=%.1f, p=%.3g — equality of means rejected.\n",
+		res.Anova.FStatistic, res.Anova.PValue)
+}

@@ -1,0 +1,40 @@
+// Quickstart: generate a synthetic road network, derive the crash-proneness
+// datasets, sweep the crash-count thresholds with decision trees, and pick
+// the threshold a road authority should treat as "crash prone".
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadcrash/internal/core"
+)
+
+func main() {
+	// SmallConfig runs in a few seconds; swap in DefaultConfig() for the
+	// paper-scale study.
+	study, err := core.NewStudy(core.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("crash instances:    %d\n", study.CrashOnlyDataset().Len())
+	fmt.Printf("combined instances: %d\n\n", study.CombinedDataset().Len())
+
+	// Phase 2: sweep crash-count thresholds on the crash-only data.
+	rows, err := study.Table4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.RenderSweep("Crash-proneness threshold sweep (decision + regression trees)", rows))
+
+	best, err := core.BestThreshold(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recommended crash-proneness threshold: more than %d crashes per 4 years\n", best)
+	fmt.Println("road segments above this count have attributes unlike no-crash roads;")
+	fmt.Println("segments below it resemble roads without crashes and need non-road measures.")
+}

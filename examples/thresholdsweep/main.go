@@ -1,0 +1,71 @@
+// Thresholdsweep reproduces the heart of the paper: both modeling phases
+// swept over the crash-count thresholds, the MCPV efficiency comparison
+// (Figure 2), and the supporting naive Bayes sweep with its efficiency
+// chart (Figure 3).
+//
+//	go run ./examples/thresholdsweep [-paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"roadcrash/internal/core"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "run at paper scale (~30s) instead of small")
+	flag.Parse()
+
+	cfg := core.SmallConfig()
+	if *paper {
+		cfg = core.DefaultConfig()
+	}
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t3, err := study.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.RenderSweep("Phase 1: crash and no-crash dataset", t3))
+
+	t4, err := study.Table4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.RenderSweep("Phase 2: crash-only dataset", t4))
+
+	fig2, err := study.Figure2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig2)
+
+	t5, err := study.Table5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.RenderTable5(t5))
+
+	fig3, err := study.Figure3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig3)
+
+	b1, err := core.BestThreshold(t3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b2, err := core.BestThreshold(t4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 efficiency peaks at >%d, phase 2 at >%d:\n", b1, b2)
+	fmt.Println("the best crash-proneness division is a low positive crash count,")
+	fmt.Println("not the crash/no-crash boundary — low-crash roads resemble no-crash roads.")
+}

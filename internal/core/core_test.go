@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/mining/cluster"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.TrainFrac = 0 },
+		func(c *Config) { c.TrainFrac = 1 },
+		func(c *Config) { c.Thresholds = nil },
+		func(c *Config) { c.Thresholds = []int{4, 2} },
+		func(c *Config) { c.Thresholds = []int{0, 2} },
+		func(c *Config) { c.CVFolds = 1 },
+		func(c *Config) { c.ClusterK = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := SmallConfig()
+		mutate(&cfg)
+		if _, err := NewStudy(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	s, err := NewStudy(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStudyDatasets(t *testing.T) {
+	s := smallStudy(t)
+	cfg := SmallConfig()
+	if s.CrashOnlyDataset().Len() != cfg.Study.TargetCrashInstances {
+		t.Fatalf("crash-only = %d", s.CrashOnlyDataset().Len())
+	}
+	if s.CombinedDataset().Len() <= s.CrashOnlyDataset().Len() {
+		t.Fatal("combined should include no-crash instances")
+	}
+	// Modeling datasets must not leak bookkeeping columns.
+	for _, name := range []string{"segment_id", "crash_year", "wet_crash"} {
+		if _, err := s.CrashOnlyDataset().AttrIndex(name); err == nil {
+			t.Errorf("crash-only dataset leaked %s", name)
+		}
+	}
+}
+
+func TestWithTargets(t *testing.T) {
+	s := smallStudy(t)
+	ds, binCol, numCol, features, err := s.withTargets(s.crashOnly, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Attr(binCol).Name != TargetAttr || ds.Attr(numCol).Name != TargetNumAttr {
+		t.Fatal("target columns mislabeled")
+	}
+	// The interval copy mirrors the binary target.
+	for i := 0; i < ds.Len(); i++ {
+		if ds.At(i, binCol) != ds.At(i, numCol) {
+			t.Fatal("interval target diverges from binary target")
+		}
+	}
+	for _, f := range features {
+		if f == binCol || f == numCol {
+			t.Fatal("features include a target column")
+		}
+		name := ds.Attr(f).Name
+		if name == "crash_count" {
+			t.Fatal("features include the crash count")
+		}
+	}
+}
+
+func TestTable1Monotone(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Config.Thresholds) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := s.CrashOnlyDataset().Len()
+	for i, r := range rows {
+		if r.Total != total {
+			t.Errorf("row %d total = %d, want %d", i, r.Total, total)
+		}
+		if r.NonProne+r.Prone != r.Total {
+			t.Errorf("row %d classes do not partition", i)
+		}
+		if i > 0 && r.Prone >= rows[i-1].Prone {
+			t.Errorf("prone counts must shrink with threshold: %d -> %d", rows[i-1].Prone, r.Prone)
+		}
+	}
+	// The top threshold must be extremely unbalanced (the paper's 16576:174).
+	last := rows[len(rows)-1]
+	if frac := float64(last.Prone) / float64(last.Total); frac > 0.05 {
+		t.Errorf("CP-%d prone fraction %.3f, want extreme imbalance", last.Threshold, frac)
+	}
+	if !strings.Contains(RenderTable1(rows), "CP-") {
+		t.Error("RenderTable1 missing labels")
+	}
+}
+
+func TestTable2Demo(t *testing.T) {
+	out := Table2Demo()
+	for _, want := range []string{"Accuracy", "MCPV", "Kappa", "Misclassification"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2Demo missing %s", want)
+		}
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Config.Thresholds) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.MCPV) || r.MCPV < 0 || r.MCPV > 1 {
+			t.Errorf("threshold %d: MCPV = %v", r.Threshold, r.MCPV)
+		}
+		if r.DTLeaves < 1 || r.RegLeaves < 1 {
+			t.Errorf("threshold %d: leaves %d/%d", r.Threshold, r.DTLeaves, r.RegLeaves)
+		}
+		if r.Misclassification < 0 || r.Misclassification > 1 {
+			t.Errorf("threshold %d: misclassification %v", r.Threshold, r.Misclassification)
+		}
+	}
+	// Caching returns the identical slice.
+	rows2, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &rows[0] != &rows2[0] {
+		t.Error("Table4 not cached")
+	}
+}
+
+func TestBestThreshold(t *testing.T) {
+	rows := []SweepRow{
+		{Threshold: 2, MCPV: 0.7, NonProne: 300, Prone: 700},
+		{Threshold: 4, MCPV: 0.9, NonProne: 500, Prone: 500},
+		{Threshold: 8, MCPV: math.NaN(), NonProne: 800, Prone: 200},
+		{Threshold: 16, MCPV: 0.8, NonProne: 900, Prone: 100},
+		// Unreliable: near-perfect MCPV on a 0.5% minority — must be skipped,
+		// as the paper skips its CP-64 row.
+		{Threshold: 64, MCPV: 0.99, NonProne: 995, Prone: 5},
+	}
+	best, err := BestThreshold(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 4 {
+		t.Fatalf("best = %d, want 4", best)
+	}
+	if _, err := BestThreshold([]SweepRow{{Threshold: 2, MCPV: math.NaN()}}); err == nil {
+		t.Fatal("all-NaN rows should error")
+	}
+	if _, err := BestThreshold(nil); err == nil {
+		t.Fatal("empty rows should error")
+	}
+}
+
+func TestPhase3Small(t *testing.T) {
+	s := smallStudy(t)
+	res, err := s.Phase3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 || len(res.Clusters) > s.Config.ClusterK {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	totalMembers := 0
+	for _, c := range res.Clusters {
+		totalMembers += c.Size
+		if c.Counts.Min < 1 {
+			t.Errorf("cluster %d min count %v < 1 on crash-only data", c.Cluster, c.Counts.Min)
+		}
+	}
+	if totalMembers != s.CrashOnlyDataset().Len() {
+		t.Fatalf("cluster members = %d, want %d", totalMembers, s.CrashOnlyDataset().Len())
+	}
+	// Clusters are sorted by median crash count.
+	for i := 1; i < len(res.Clusters); i++ {
+		if res.Clusters[i].Counts.Median < res.Clusters[i-1].Counts.Median {
+			t.Fatal("clusters not sorted by median")
+		}
+	}
+	// The ANOVA must reject equal means decisively (paper: p-value of 0).
+	if res.Anova.PValue > 1e-6 {
+		t.Errorf("ANOVA p = %v, want ~0", res.Anova.PValue)
+	}
+	// Low-crash clusters must exist (the heart of the Figure 4 finding).
+	if res.VeryLowClusters == 0 {
+		t.Error("no very-low-crash clusters found")
+	}
+	fig := RenderFigure4(res)
+	if !strings.Contains(fig, "ANOVA") || !strings.Contains(fig, "cluster") {
+		t.Error("RenderFigure4 incomplete")
+	}
+}
+
+func TestFigure1Small(t *testing.T) {
+	s := smallStudy(t)
+	chart, hist := s.Figure1()
+	if len(hist) != s.Config.Network.Years {
+		t.Fatalf("years = %d", len(hist))
+	}
+	if !strings.Contains(chart, "Figure 1") || !strings.Contains(chart, "2004") {
+		t.Error("Figure 1 chart incomplete")
+	}
+}
+
+func TestFiguresFromSweeps(t *testing.T) {
+	s := smallStudy(t)
+	f2, err := s.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "phase 1") || !strings.Contains(f2, "phase 2") {
+		t.Error("Figure 2 missing series")
+	}
+	f3, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f3, "MCPV") || !strings.Contains(f3, "Kappa") {
+		t.Error("Figure 3 missing series")
+	}
+}
+
+func TestTable5Small(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CorrectlyClassify < 0.4 || r.CorrectlyClassify > 1 {
+			t.Errorf("threshold %d: accuracy %v", r.Threshold, r.CorrectlyClassify)
+		}
+		if !math.IsNaN(r.ROCArea) && (r.ROCArea < 0.5 || r.ROCArea > 1) {
+			t.Errorf("threshold %d: AUC %v, want better than chance", r.Threshold, r.ROCArea)
+		}
+	}
+	if !strings.Contains(RenderTable5(rows), "ROC Area") {
+		t.Error("RenderTable5 incomplete")
+	}
+}
+
+func TestStatisticalBaselineSmall(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.StatisticalBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Config.Thresholds)+1 { // includes the >0 row
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:3] {
+		if math.IsNaN(r.BaselineMCPV) {
+			t.Errorf("threshold %d: baseline MCPV undefined", r.Threshold)
+		}
+	}
+	if !strings.Contains(RenderBaseline(rows), "Shankar") {
+		t.Error("RenderBaseline missing attribution")
+	}
+}
+
+func TestPhase3ProfilesSmall(t *testing.T) {
+	s := smallStudy(t)
+	res, err := s.Phase3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) == 0 {
+		t.Fatal("no cluster profiles")
+	}
+	// Each profile must exclude the crash count (outcome leak).
+	for _, p := range res.Profiles {
+		for _, sig := range p.Signals {
+			if sig.Attr == "crash_count" {
+				t.Fatal("profile leaked the crash count")
+			}
+		}
+	}
+	// The lowest and highest crash clusters differ on skid resistance in
+	// the expected directions.
+	low, ok1 := res.ProfileFor(res.Clusters[0].Cluster)
+	high, ok2 := res.ProfileFor(res.Clusters[len(res.Clusters)-1].Cluster)
+	if !ok1 || !ok2 {
+		t.Fatal("profiles missing for extreme clusters")
+	}
+	zFor := func(p cluster.Profile, attr string) float64 {
+		for _, sig := range p.Signals {
+			if sig.Attr == attr {
+				return sig.Z
+			}
+		}
+		return math.NaN()
+	}
+	if zl, zh := zFor(low, "f60"), zFor(high, "f60"); !(zl > zh) {
+		t.Errorf("f60 z-scores: low cluster %.2f should exceed high cluster %.2f", zl, zh)
+	}
+}
+
+func TestSupportingModelsSmall(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.SupportingModelSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(s.Config.Thresholds) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.4 || r.Accuracy > 1 {
+			t.Errorf("%s at %d: accuracy %v", r.Model, r.Threshold, r.Accuracy)
+		}
+	}
+	if !strings.Contains(RenderSupport(rows), "logistic") {
+		t.Error("RenderSupport incomplete")
+	}
+}
+
+func TestTable3SmallIncludesCrashNoCrash(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Threshold != 0 {
+		t.Fatalf("phase 1 must start at the crash/no-crash boundary, got %d", rows[0].Threshold)
+	}
+	if len(rows) != len(s.Config.Thresholds)+1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Figure 2 consumes both sweeps; exercised via the small study too.
+	if _, err := s.Figure2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankSegments(t *testing.T) {
+	s := smallStudy(t)
+	top, err := s.RankSegments(8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 50 {
+		t.Fatalf("top = %d", len(top))
+	}
+	seen := map[int]bool{}
+	prev := 2.0
+	for _, sc := range top {
+		if seen[sc.SegmentID] {
+			t.Fatalf("segment %d ranked twice", sc.SegmentID)
+		}
+		seen[sc.SegmentID] = true
+		if sc.Risk < 0 || sc.Risk > 1 {
+			t.Fatalf("risk = %v", sc.Risk)
+		}
+		if sc.Risk > prev {
+			t.Fatal("ranking not sorted by risk")
+		}
+		prev = sc.Risk
+	}
+	// The ranking must be informative: the top 50 segments should have far
+	// more observed crashes on average than the network's surveyed mean.
+	sum := 0
+	for _, sc := range top {
+		sum += sc.CrashCount
+	}
+	if mean := float64(sum) / float64(len(top)); mean < 5 {
+		t.Fatalf("top-50 mean crash count = %v, expected clearly elevated", mean)
+	}
+	if _, err := s.RankSegments(8, 0); err == nil {
+		t.Fatal("topN=0 should error")
+	}
+	// Asking for more segments than exist clamps.
+	all, err := s.RankSegments(8, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 || len(all) > s.Data.Crash.Len()+s.Data.NoCrash.Len() {
+		t.Fatalf("all = %d", len(all))
+	}
+}
+
+func TestRenderSweepFormat(t *testing.T) {
+	out := RenderSweep("test", []SweepRow{{Threshold: 4, RSquared: 0.5, RegLeaves: 10, NPV: 0.9, PPV: 0.8, MCPV: 0.8, Misclassification: 0.1, Kappa: 0.6, DTLeaves: 12}})
+	for _, want := range []string{">4", "0.5", "10.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderSweep missing %q:\n%s", want, out)
+		}
+	}
+}

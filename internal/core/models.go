@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/eval"
+	"roadcrash/internal/mining/bayes"
+	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/m5"
+	"roadcrash/internal/mining/neural"
+	"roadcrash/internal/rng"
+	"roadcrash/internal/roadnet"
+)
+
+// BayesRow is one line of Table 5: the naive Bayesian assessment of a
+// crash-proneness threshold under cross-validation.
+type BayesRow struct {
+	Threshold         int
+	CorrectlyClassify float64
+	NPV               float64
+	PPV               float64
+	MCPV              float64
+	WeightedPrecision float64
+	WeightedRecall    float64
+	ROCArea           float64
+	Kappa             float64
+}
+
+// Table5 runs naive Bayes with k-fold cross-validation over the phase 2
+// thresholds, regenerating Table 5.
+func (s *Study) Table5() ([]BayesRow, error) {
+	if s.table5 != nil {
+		return s.table5, nil
+	}
+	rows := make([]BayesRow, 0, len(s.Config.Thresholds))
+	for _, t := range s.Config.Thresholds {
+		ds, binCol, _, features, err := s.withTargets(s.crashOnly, t)
+		if err != nil {
+			return nil, err
+		}
+		trainer := func(tr *data.Dataset, tgt int) (eval.Classifier, error) {
+			cfg := bayes.DefaultConfig()
+			cfg.Features = features
+			return bayes.Train(tr, tgt, cfg)
+		}
+		res, err := eval.CrossValidate(trainer, ds, binCol, s.Config.CVFolds, rng.New(s.splitSeed("table5", t)))
+		if err != nil {
+			return nil, fmt.Errorf("core: naive Bayes at threshold %d: %w", t, err)
+		}
+		c := res.Confusion
+		rows = append(rows, BayesRow{
+			Threshold:         t,
+			CorrectlyClassify: c.Accuracy(),
+			NPV:               c.NPV(),
+			PPV:               c.PPV(),
+			MCPV:              c.MCPV(),
+			WeightedPrecision: c.WeightedPrecision(),
+			WeightedRecall:    c.WeightedRecall(),
+			ROCArea:           res.AUC,
+			Kappa:             c.Kappa(),
+		})
+	}
+	s.table5 = rows
+	return rows, nil
+}
+
+// SupportRow is one supporting-model assessment at one threshold (§4:
+// "additional modeling using neural networks, logistic regression and M5
+// algorithms show trends similar to the prior models").
+type SupportRow struct {
+	Model     string
+	Threshold int
+	MCPV      float64
+	Kappa     float64
+	Accuracy  float64
+}
+
+// SupportingModelSweep assesses logistic regression, a neural network and
+// an M5 model tree across the phase 2 thresholds with the train/validation
+// method.
+func (s *Study) SupportingModelSweep() ([]SupportRow, error) {
+	type namedTrainer struct {
+		name  string
+		train func(tr *data.Dataset, binCol, numCol int) (eval.Classifier, error)
+	}
+	exclude := []string{roadnet.CrashCountAttr, TargetAttr, TargetNumAttr}
+	trainers := []namedTrainer{
+		{"logistic", func(tr *data.Dataset, binCol, numCol int) (eval.Classifier, error) {
+			cfg := logit.DefaultConfig()
+			cfg.Exclude = exclude
+			return logit.Train(tr, binCol, cfg)
+		}},
+		{"neural", func(tr *data.Dataset, binCol, numCol int) (eval.Classifier, error) {
+			cfg := neural.DefaultConfig()
+			cfg.Exclude = exclude
+			cfg.Epochs = 25
+			cfg.Seed = s.Config.Seed
+			return neural.Train(tr, binCol, cfg)
+		}},
+		{"m5", func(tr *data.Dataset, binCol, numCol int) (eval.Classifier, error) {
+			cfg := m5.DefaultConfig()
+			cfg.Exclude = exclude
+			var feats []int
+			for _, name := range roadnet.RoadAttrNames() {
+				feats = append(feats, tr.MustAttrIndex(name))
+			}
+			cfg.Tree.Features = feats
+			return m5.Train(tr, numCol, cfg)
+		}},
+	}
+	var rows []SupportRow
+	for _, t := range s.Config.Thresholds {
+		ds, binCol, numCol, _, err := s.withTargets(s.crashOnly, t)
+		if err != nil {
+			return nil, err
+		}
+		r := rng.New(s.splitSeed("support", t))
+		train, valid, err := ds.StratifiedSplit(r, s.Config.TrainFrac, binCol)
+		if err != nil {
+			return nil, err
+		}
+		for _, nt := range trainers {
+			model, err := nt.train(train, binCol, numCol)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s at threshold %d: %w", nt.name, t, err)
+			}
+			var conf eval.Confusion
+			raw := make([]float64, valid.NumAttrs())
+			for i := 0; i < valid.Len(); i++ {
+				actual := valid.At(i, binCol)
+				if data.IsMissing(actual) {
+					continue
+				}
+				raw = valid.Row(i, raw)
+				conf.Add(actual == 1, model.PredictProb(raw) >= 0.5)
+			}
+			rows = append(rows, SupportRow{
+				Model:     nt.name,
+				Threshold: t,
+				MCPV:      conf.MCPV(),
+				Kappa:     conf.Kappa(),
+				Accuracy:  conf.Accuracy(),
+			})
+		}
+	}
+	return rows, nil
+}

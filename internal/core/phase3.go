@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"roadcrash/internal/mining/cluster"
+	"roadcrash/internal/roadnet"
+	"roadcrash/internal/stats"
+)
+
+// ClusterSummary describes one of the phase 3 clusters: the crash-count
+// range of its member road segments (Figure 4's box for that cluster).
+type ClusterSummary struct {
+	Cluster int
+	Size    int
+	Counts  stats.FiveNum // five-number summary of member crash counts
+	Mean    float64
+}
+
+// Phase3Result is the clustering outcome supporting the crash-proneness
+// proposition: several amply-packed clusters confined to very low crash
+// counts, and an ANOVA rejecting equal cluster means.
+type Phase3Result struct {
+	Clusters []ClusterSummary // sorted by median crash count
+	Anova    stats.AnovaResult
+	// VeryLowClusters counts clusters whose inter-quartile range sits
+	// within the four-crash band ("six very low-crash clusters with their
+	// inter-quartile ranges within the four crash count range or lower").
+	VeryLowClusters int
+	// LowTailClusters counts clusters with Q3 below ten crashes ("an
+	// additional seven clusters have a high proportion crash counts below
+	// 10 crashes").
+	LowTailClusters int
+	Iterations      int
+	Inertia         float64
+	// Profiles lists each cluster's most distinguishing road attributes
+	// (population z-scores) — the paper's future-work analysis of
+	// "attribute correlations with the cluster groups".
+	Profiles []cluster.Profile
+}
+
+// Phase3 clusters the crash-only road segments on their road attributes
+// (k-means, k = Config.ClusterK) and summarizes the crash-count ranges per
+// cluster, regenerating Figure 4 and the supporting ANOVA.
+func (s *Study) Phase3() (*Phase3Result, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.K = s.Config.ClusterK
+	cfg.Seed = s.Config.Seed
+	// Cluster on road attributes only: the crash count must not leak into
+	// the distance space, otherwise the homogeneity finding is circular.
+	cfg.Exclude = []string{roadnet.CrashCountAttr}
+	res, err := cluster.Run(s.crashOnly, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3 clustering: %w", err)
+	}
+	counts, err := s.crashOnly.ColByName(roadnet.CrashCountAttr)
+	if err != nil {
+		return nil, err
+	}
+	groups := res.GroupColumn(counts)
+	out := &Phase3Result{Iterations: res.Iterations, Inertia: res.Inertia}
+	var anovaGroups [][]float64
+	for c, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		cs := ClusterSummary{Cluster: c, Size: len(g), Counts: stats.Summary(g), Mean: stats.Mean(g)}
+		out.Clusters = append(out.Clusters, cs)
+		anovaGroups = append(anovaGroups, g)
+		switch {
+		case cs.Counts.Q3 <= 4:
+			out.VeryLowClusters++
+		case cs.Counts.Q3 <= 10:
+			out.LowTailClusters++
+		}
+	}
+	sort.Slice(out.Clusters, func(i, j int) bool {
+		return out.Clusters[i].Counts.Median < out.Clusters[j].Counts.Median
+	})
+	anova, err := stats.OneWayANOVA(anovaGroups)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3 ANOVA: %w", err)
+	}
+	out.Anova = anova
+	// Profile the clusters on the road attributes only (drop the crash
+	// count so the profile describes causes, not the outcome).
+	attrsOnly, err := s.crashOnly.DropAttrs(roadnet.CrashCountAttr)
+	if err != nil {
+		return nil, err
+	}
+	if out.Profiles, err = res.ProfileColumns(attrsOnly); err != nil {
+		return nil, fmt.Errorf("core: phase 3 profiles: %w", err)
+	}
+	return out, nil
+}
+
+// ProfileFor returns the attribute profile of one cluster id, if present.
+func (p *Phase3Result) ProfileFor(clusterID int) (cluster.Profile, bool) {
+	for _, pr := range p.Profiles {
+		if pr.Cluster == clusterID {
+			return pr, true
+		}
+	}
+	return cluster.Profile{}, false
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/roadnet"
+)
+
+// SegmentScore is one road segment's crash-proneness assessment — the unit
+// of the operational decision support the paper's conclusion targets
+// ("develop deployment to embed with a strategic and operational decision
+// support system").
+type SegmentScore struct {
+	SegmentID  int
+	Risk       float64 // model probability of being crash prone
+	CrashCount int     // observed 4-year count (for audit, not used in scoring)
+	F60        float64
+	AADT       float64
+}
+
+// RankSegments trains the crash-proneness decision tree at the given
+// threshold on the study data and scores every F60-surveyed segment once
+// (deduplicated), returning the topN highest-risk segments. Segments are
+// scored purely from road attributes; the observed crash count rides along
+// so asset managers can audit the ranking.
+func (s *Study) RankSegments(threshold, topN int) ([]SegmentScore, error) {
+	if topN <= 0 {
+		return nil, fmt.Errorf("core: topN must be positive, got %d", topN)
+	}
+	// Train on the combined study data with the derived target.
+	ds, binCol, _, features, err := s.withTargets(s.combined, threshold)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Config.Tree
+	cfg.Features = features
+	model, err := tree.Grow(ds, binCol, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Score one deduplicated row per surveyed segment. The raw study
+	// datasets keep segment_id; the model consumes only the road-attribute
+	// columns, which we arrange into the training schema order.
+	pool, err := s.Data.Crash.Concat("pool", s.Data.NoCrash)
+	if err != nil {
+		return nil, err
+	}
+	keep := append(append([]string{}, roadnet.RoadAttrNames()...), roadnet.CrashCountAttr)
+	modelView, err := pool.KeepAttrs(keep...)
+	if err != nil {
+		return nil, err
+	}
+	idCol, err := pool.ColByName(roadnet.AttrSegmentID)
+	if err != nil {
+		return nil, err
+	}
+	f60Col, err := pool.ColByName(roadnet.AttrF60)
+	if err != nil {
+		return nil, err
+	}
+	aadtCol, err := pool.ColByName(roadnet.AttrAADT)
+	if err != nil {
+		return nil, err
+	}
+	countCol, err := pool.ColByName(roadnet.CrashCountAttr)
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[int]bool)
+	var scores []SegmentScore
+	// The model was trained on a schema with two extra target columns;
+	// build rows padded to that width with the targets missing.
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < modelView.Len(); i++ {
+		id := int(idCol[i])
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for j := 0; j < modelView.NumAttrs(); j++ {
+			row[j] = modelView.At(i, j)
+		}
+		for j := modelView.NumAttrs(); j < len(row); j++ {
+			row[j] = data.Missing
+		}
+		scores = append(scores, SegmentScore{
+			SegmentID:  id,
+			Risk:       model.PredictProb(row),
+			CrashCount: int(countCol[i]),
+			F60:        f60Col[i],
+			AADT:       aadtCol[i],
+		})
+	}
+	sort.Slice(scores, func(a, b int) bool {
+		if scores[a].Risk != scores[b].Risk {
+			return scores[a].Risk > scores[b].Risk
+		}
+		return scores[a].SegmentID < scores[b].SegmentID
+	})
+	if topN > len(scores) {
+		topN = len(scores)
+	}
+	return scores[:topN], nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"roadcrash/internal/eval"
+	"roadcrash/internal/report"
+)
+
+// RenderTable1 renders Table 1 ("Crash prone threshold target values of
+// modeling phase 2").
+func RenderTable1(rows []Table1Row) string {
+	t := report.NewTable("Table 1. Crash prone threshold target values (crash-only dataset)",
+		"Target", "Threshold", "Non-crash prone", "Crash prone", "Total")
+	for _, r := range rows {
+		t.AddRow(r.Label, fmt.Sprintf(">%d", r.Threshold), r.NonProne, r.Prone, r.Total)
+	}
+	return t.String()
+}
+
+// Table2Demo demonstrates the Table 2 measure catalogue on two reference
+// models: a balanced competent classifier, and the majority-class voter on
+// the paper's most extreme imbalance (16,576 : 174). It shows which
+// measures stay honest — the misclassification rate flatters the voter
+// while MCPV and Kappa expose it.
+func Table2Demo() string {
+	balanced := eval.Confusion{TP: 700, FN: 120, FP: 90, TN: 760}
+	voter := eval.Confusion{TN: 16576, FN: 174}
+	t := report.NewTable("Table 2. Evaluation measures on a balanced model vs. the majority voter on 16576:174",
+		"Measure", "Balanced model", "Majority voter", "Unbalanced-safe?")
+	add := func(name string, f func(eval.Confusion) float64, safe string) {
+		t.AddRow(name, f(balanced), f(voter), safe)
+	}
+	add("Accuracy", eval.Confusion.Accuracy, "no")
+	add("Misclassification", eval.Confusion.Misclassification, "no")
+	add("Sensitivity/Recall", eval.Confusion.Sensitivity, "yes")
+	add("Specificity", eval.Confusion.Specificity, "yes")
+	add("PPV", eval.Confusion.PPV, "yes")
+	add("NPV", eval.Confusion.NPV, "yes")
+	add("MCPV = min(PPV,NPV)", eval.Confusion.MCPV, "yes (paper's method)")
+	add("Kappa", eval.Confusion.Kappa, "most useful")
+	return t.String()
+}
+
+// RenderSweep renders a Table 3/4-shaped sweep.
+func RenderSweep(title string, rows []SweepRow) string {
+	t := report.NewTable(title,
+		"Target", "R-squared", "Leaves(RT)", "NPV", "PPV", "MCPV", "Misclass", "Kappa", "Leaves(DT)")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf(">%d", r.Threshold), r.RSquared, r.RegLeaves,
+			r.NPV, r.PPV, r.MCPV,
+			fmt.Sprintf("%.2f%%", 100*r.Misclassification), r.Kappa, r.DTLeaves)
+	}
+	return t.String()
+}
+
+// RenderTable5 renders the naive Bayes sweep.
+func RenderTable5(rows []BayesRow) string {
+	t := report.NewTable("Table 5. Naive Bayesian models across crash prone thresholds (crash-only dataset)",
+		"Target", "Correct", "NPV", "PPV", "W.Precision", "W.Recall", "ROC Area", "Kappa")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf(">%d", r.Threshold), r.CorrectlyClassify, r.NPV, r.PPV,
+			r.WeightedPrecision, r.WeightedRecall, r.ROCArea, r.Kappa)
+	}
+	return t.String()
+}
+
+// RenderSupport renders the supporting-model sweep grouped by model.
+func RenderSupport(rows []SupportRow) string {
+	t := report.NewTable("Supporting models across crash prone thresholds (crash-only dataset)",
+		"Model", "Target", "MCPV", "Kappa", "Accuracy")
+	for _, r := range rows {
+		t.AddRow(r.Model, fmt.Sprintf(">%d", r.Threshold), r.MCPV, r.Kappa, r.Accuracy)
+	}
+	return t.String()
+}
+
+// Figure1 renders the distribution of annual crash counts (one series per
+// observation year) and returns the chart plus the underlying histogram.
+func (s *Study) Figure1() (string, [][]int) {
+	hist := s.Net.AnnualCountHistogram()
+	markers := []rune{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'}
+	var series []report.Series
+	maxCount := 0
+	for _, h := range hist {
+		if len(h) > maxCount {
+			maxCount = len(h)
+		}
+	}
+	limit := maxCount
+	if limit > 36 {
+		limit = 36 // Figure 1 plots year crash counts up to 35
+	}
+	for y, h := range hist {
+		ser := report.Series{
+			Name:   fmt.Sprintf("%d", s.Config.Network.FirstYear+y),
+			Marker: markers[y%len(markers)],
+		}
+		for c := 1; c < limit && c < len(h); c++ {
+			ser.X = append(ser.X, float64(c))
+			ser.Y = append(ser.Y, float64(h[c]))
+		}
+		series = append(series, ser)
+	}
+	chart := report.LineChart("Figure 1. Distribution of annual crash counts (instances per year crash count)",
+		64, 18, series...)
+	return chart, hist
+}
+
+// Figure2 renders the phase 1 vs phase 2 decision-tree efficiency (MCPV)
+// comparison from the Table 3 and Table 4 sweeps.
+func (s *Study) Figure2() (string, error) {
+	t3, err := s.Table3()
+	if err != nil {
+		return "", err
+	}
+	t4, err := s.Table4()
+	if err != nil {
+		return "", err
+	}
+	mk := func(name string, rows []SweepRow, marker rune) report.Series {
+		ser := report.Series{Name: name, Marker: marker}
+		for _, r := range rows {
+			ser.X = append(ser.X, float64(r.Threshold))
+			ser.Y = append(ser.Y, r.MCPV)
+		}
+		return ser
+	}
+	chart := report.LineChart("Figure 2. Model efficiency (MCPV) of phase 1 vs phase 2 decision trees",
+		64, 16,
+		mk("crash & no-crash (phase 1)", t3, '1'),
+		mk("crash only (phase 2)", t4, '2'))
+	return chart, nil
+}
+
+// Figure3 renders the Bayesian efficiency sweep (MCPV and Kappa) from the
+// Table 5 results.
+func (s *Study) Figure3() (string, error) {
+	t5, err := s.Table5()
+	if err != nil {
+		return "", err
+	}
+	mcpv := report.Series{Name: "MCPV", Marker: 'm'}
+	kappa := report.Series{Name: "Kappa", Marker: 'k'}
+	for _, r := range t5 {
+		mcpv.X = append(mcpv.X, float64(r.Threshold))
+		mcpv.Y = append(mcpv.Y, r.MCPV)
+		kappa.X = append(kappa.X, float64(r.Threshold))
+		kappa.Y = append(kappa.Y, r.Kappa)
+	}
+	return report.LineChart("Figure 3. Phase 2 Bayesian model efficiency across crash prone thresholds",
+		64, 16, mcpv, kappa), nil
+}
+
+// Figure4 renders the per-cluster crash-count ranges from the phase 3
+// clustering.
+func RenderFigure4(res *Phase3Result) string {
+	var boxes []report.Box
+	hi := 0.0
+	for _, c := range res.Clusters {
+		if c.Counts.Max > hi {
+			hi = c.Counts.Max
+		}
+		boxes = append(boxes, report.Box{
+			Label: fmt.Sprintf("cluster %d", c.Cluster),
+			Min:   c.Counts.Min, Q1: c.Counts.Q1, Median: c.Counts.Median,
+			Q3: c.Counts.Q3, Max: c.Counts.Max, N: c.Size,
+		})
+	}
+	var b strings.Builder
+	b.WriteString(report.BoxChart("Figure 4. Crash count ranges by cluster (phase 3, k-means)", 60, 0, hi, boxes))
+	fmt.Fprintf(&b, "very-low clusters (IQR within 0-4 crashes): %d\n", res.VeryLowClusters)
+	fmt.Fprintf(&b, "additional low-tail clusters (Q3 <= 10):    %d\n", res.LowTailClusters)
+	fmt.Fprintf(&b, "ANOVA: F=%.1f, p=%.3g (eta²=%.3f)\n", res.Anova.FStatistic, res.Anova.PValue, res.Anova.EtaSquared)
+	return b.String()
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The tests in this file assert the paper's headline findings on the
+// paper-scale study. They are the executable form of EXPERIMENTS.md: not
+// "do the numbers match" but "does the evaluation tell the same story".
+// They are skipped under -short because the full study takes ~30s.
+
+// fullStudy caches the paper-scale study; building it is the expensive
+// part, and the sweeps are cached inside Study.
+var fullStudy *Study
+
+func paperStudy(t *testing.T) *Study {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-scale study skipped in -short")
+	}
+	if fullStudy != nil {
+		return fullStudy
+	}
+	s, err := NewStudy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullStudy = s
+	return s
+}
+
+func row(rows []SweepRow, threshold int) SweepRow {
+	for _, r := range rows {
+		if r.Threshold == threshold {
+			return r
+		}
+	}
+	return SweepRow{Threshold: -1, MCPV: math.NaN()}
+}
+
+// TestPrintSweeps logs the regenerated Tables 3-5 for manual comparison
+// with the paper (recorded in EXPERIMENTS.md).
+func TestPrintSweeps(t *testing.T) {
+	s := paperStudy(t)
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderSweep("Table 3 (phase 1)", t3))
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderSweep("Table 4 (phase 2)", t4))
+	t5, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTable5(t5))
+}
+
+// TestHeadlineFinding is the paper's core claim: the best crash-proneness
+// division is NOT the crash/no-crash boundary but a threshold of a few
+// crashes — "the best road segment crash-proneness threshold was four to
+// eight crashes in a four year period".
+func TestHeadlineFinding(t *testing.T) {
+	s := paperStudy(t)
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best1, err := BestThreshold(t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best2, err := BestThreshold(t4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 peaks at the low end of the sweep (in our reproduction the
+	// crash/no-crash model and CP-2 are statistically tied; the paper's
+	// peak is CP-4). Phase 2 must peak in the 4-8 band the paper selects.
+	if best1 > 8 {
+		t.Errorf("phase 1 best threshold = %d, want within [0, 8]", best1)
+	}
+	if best2 < 4 || best2 > 8 {
+		t.Errorf("phase 2 best threshold = %d, want within [4, 8]", best2)
+	}
+	// The crash/no-crash model must not clearly beat the low positive
+	// thresholds (the whole point of the sweep): CP-2 ties or wins.
+	if mc0, mc2 := row(t3, 0).MCPV, row(t3, 2).MCPV; mc0 > mc2+0.02 {
+		t.Errorf("crash/no-crash MCPV %.3f clearly beats CP-2 %.3f; the threshold methodology adds nothing", mc0, mc2)
+	}
+}
+
+// TestImbalanceTrapInSweep asserts the paper's warning about
+// misclassification rates: at high thresholds the misclassification rate
+// looks superb while the PPV collapses.
+func TestImbalanceTrapInSweep(t *testing.T) {
+	s := paperStudy(t)
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := row(t4, 8)
+	high := row(t4, 32)
+	if !(high.Misclassification < mid.Misclassification) {
+		t.Errorf("misclassification should flatter the unbalanced model: %.3f (32) vs %.3f (8)",
+			high.Misclassification, mid.Misclassification)
+	}
+	if !(high.PPV < mid.NPV) || high.PPV > 0.8 {
+		t.Errorf("PPV at 32 = %.3f, want a visible collapse (paper: 0.61)", high.PPV)
+	}
+}
+
+// TestPhase2Trends asserts the monotone structure of Table 4: NPV rises
+// with the threshold while PPV falls (until the unreliable tail).
+func TestPhase2Trends(t *testing.T) {
+	s := paperStudy(t)
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := row(t4, 2), row(t4, 32)
+	if hi.NPV < lo.NPV+0.10 {
+		t.Errorf("NPV should rise across the sweep: %.3f (2) -> %.3f (32)", lo.NPV, hi.NPV)
+	}
+	if hi.PPV > lo.PPV-0.15 {
+		t.Errorf("PPV should fall across the sweep: %.3f (2) -> %.3f (32)", lo.PPV, hi.PPV)
+	}
+	// Stepwise, allow small reversals (the paper's own Table 4 is not
+	// perfectly monotone either) but no large ones.
+	for i := 1; i < len(t4); i++ {
+		if t4[i].Threshold > 32 {
+			break // the paper's own results go degenerate at 64
+		}
+		if t4[i].NPV < t4[i-1].NPV-0.08 {
+			t.Errorf("NPV should broadly rise with threshold: %.3f -> %.3f at %d",
+				t4[i-1].NPV, t4[i].NPV, t4[i].Threshold)
+		}
+		if t4[i].PPV > t4[i-1].PPV+0.08 {
+			t.Errorf("PPV should broadly fall with threshold: %.3f -> %.3f at %d",
+				t4[i-1].PPV, t4[i].PPV, t4[i].Threshold)
+		}
+	}
+}
+
+// TestBayesTrends asserts Table 5's story: the Bayesian model peaks in the
+// same 4-8 band (by Kappa and MCPV) and underperforms the decision trees.
+func TestBayesTrends(t *testing.T) {
+	s := paperStudy(t)
+	t5, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestKappa, bestT := math.Inf(-1), 0
+	for _, r := range t5 {
+		if r.Threshold <= 32 && r.Kappa > bestKappa {
+			bestKappa, bestT = r.Kappa, r.Threshold
+		}
+	}
+	if bestT < 2 || bestT > 8 {
+		t.Errorf("Bayes Kappa peaks at %d, want within [2, 8]", bestT)
+	}
+	// "In general, decision tree performance is better than the Bayesian
+	// model": compare Kappa at the 4-8 band.
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if treeK, bayesK := row(t4, 8).Kappa, kappaAt(t5, 8); treeK <= bayesK {
+		t.Errorf("tree Kappa %.3f should beat Bayes %.3f at threshold 8", treeK, bayesK)
+	}
+}
+
+func kappaAt(rows []BayesRow, threshold int) float64 {
+	for _, r := range rows {
+		if r.Threshold == threshold {
+			return r.Kappa
+		}
+	}
+	return math.NaN()
+}
+
+// TestStatisticalBaseline asserts that the data-mining models justify the
+// paper's move beyond its statistical foundation: the decision tree matches
+// or beats the zero-altered count regression at every reliable threshold,
+// and the count model collapses at the extreme tail.
+func TestStatisticalBaseline(t *testing.T) {
+	s := paperStudy(t)
+	rows, err := s.StatisticalBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no baseline rows")
+	}
+	for _, r := range rows {
+		if r.Threshold > 32 {
+			continue
+		}
+		if r.BaselineMCPV > r.TreeMCPV+0.03 {
+			t.Errorf("threshold %d: baseline MCPV %.3f clearly beats the tree %.3f",
+				r.Threshold, r.BaselineMCPV, r.TreeMCPV)
+		}
+	}
+	t.Log("\n" + RenderBaseline(rows))
+}
+
+// TestPhase3PaperScale asserts Figure 4's findings at paper scale: at
+// least six amply-packed very-low-crash clusters, a set of additional
+// low-tail clusters, and an ANOVA p-value of ~0.
+func TestPhase3PaperScale(t *testing.T) {
+	s := paperStudy(t)
+	res, err := s.Phase3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: six very-low clusters plus seven low-tail clusters of 32. Our
+	// count distribution sits slightly above the paper's (see Table 1 in
+	// EXPERIMENTS.md), so the bands hold fewer clusters; the qualitative
+	// finding — clearly confined low-crash clusters exist — must hold.
+	if res.VeryLowClusters < 3 {
+		t.Errorf("very-low clusters = %d, want at least 3 (paper reports six)", res.VeryLowClusters)
+	}
+	if res.LowTailClusters < 2 {
+		t.Errorf("low-tail clusters = %d, want at least 2 (paper reports seven)", res.LowTailClusters)
+	}
+	if res.Anova.PValue > 1e-9 {
+		t.Errorf("ANOVA p = %v, paper reports 0", res.Anova.PValue)
+	}
+	// Clusters must spread across low/medium/high bands: the top cluster's
+	// median is a multiple of the bottom one's.
+	first := res.Clusters[0].Counts.Median
+	last := res.Clusters[len(res.Clusters)-1].Counts.Median
+	if last < 4*first || last < 10 {
+		t.Errorf("cluster medians span [%v, %v]; want clear low/mid/high bands", first, last)
+	}
+}
+
+// TestSupportingModels asserts §4's claim that NN, logistic regression and
+// M5 "show trends similar to the prior models": each peaks (by MCPV) at a
+// reliable threshold below 16.
+func TestSupportingModels(t *testing.T) {
+	s := paperStudy(t)
+	rows, err := s.SupportingModelSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[string][]SupportRow{}
+	for _, r := range rows {
+		byModel[r.Model] = append(byModel[r.Model], r)
+	}
+	if len(byModel) != 3 {
+		t.Fatalf("models = %d, want 3", len(byModel))
+	}
+	// Judge by Kappa over the reliable thresholds (<= 16): each supporting
+	// model peaks in the same low band as the trees.
+	for model, mr := range byModel {
+		bestT, bestV := 0, math.Inf(-1)
+		for _, r := range mr {
+			if r.Threshold <= 16 && !math.IsNaN(r.Kappa) && r.Kappa > bestV {
+				bestT, bestV = r.Threshold, r.Kappa
+			}
+		}
+		if bestT < 2 || bestT > 8 {
+			t.Errorf("%s Kappa peaks at %d, want within the low band [2, 8]", model, bestT)
+		}
+	}
+}

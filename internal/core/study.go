@@ -1,0 +1,203 @@
+// Package core implements the paper's contribution: the crash-proneness
+// threshold-sweep methodology. It builds the series of binary datasets
+// CP-2 … CP-64 over both the crash/no-crash data (phase 1) and the
+// crash-only subset (phase 2), assesses chi-square decision trees and
+// F-test regression trees with the MCPV and Kappa statistics, runs the
+// supporting models (naive Bayes, logistic regression, neural network,
+// M5), and performs the phase 3 k-means clustering with its ANOVA — one
+// driver per table and figure of the paper's evaluation.
+package core
+
+import (
+	"fmt"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/roadnet"
+)
+
+// TargetAttr is the derived binary crash-proneness target; TargetNumAttr is
+// the same target "configured as interval" for the regression trees.
+const (
+	TargetAttr    = "crash_prone"
+	TargetNumAttr = "crash_prone_num"
+)
+
+// Config assembles a full study.
+type Config struct {
+	// Network and Study parameterize the QDTMR-substitute simulator.
+	Network roadnet.Config
+	Study   roadnet.StudyOptions
+	// Thresholds is the crash-count sweep (the paper uses 2,4,8,16,32,64;
+	// phase 1 additionally models the >0 crash/no-crash boundary).
+	Thresholds []int
+	// TrainFrac is the training share of the train/validation method.
+	TrainFrac float64
+	// Tree and RegTree configure the two tree learners.
+	Tree    tree.Config
+	RegTree tree.Config
+	// CVFolds is the cross-validation fold count for supporting models
+	// (the paper configures "10 times cross-validation").
+	CVFolds int
+	// ClusterK is the phase 3 k-means cluster count (paper: 32).
+	ClusterK int
+	// Seed drives splits, CV shuffles and clustering.
+	Seed uint64
+}
+
+// DefaultConfig reproduces the paper-scale study.
+func DefaultConfig() Config {
+	treeCfg := tree.DefaultConfig()
+	// Leaves must aggregate several road segments (a 4-year crash count is
+	// constant across a segment's instances, so tiny leaves would just
+	// memorize individual segments shared between train and validation).
+	treeCfg.MinLeaf = 50
+	regCfg := tree.DefaultConfig()
+	regCfg.MinLeaf = 50
+	// "Interval models tended to be more accurate but with less compact
+	// models": allow the regression trees more room.
+	regCfg.MaxLeaves = 250
+	return Config{
+		Network:    roadnet.DefaultConfig(),
+		Study:      roadnet.DefaultStudyOptions(),
+		Thresholds: []int{2, 4, 8, 16, 32, 64},
+		TrainFrac:  0.7,
+		Tree:       treeCfg,
+		RegTree:    regCfg,
+		CVFolds:    10,
+		ClusterK:   32,
+		Seed:       521526, // the paper's page span in the proceedings
+	}
+}
+
+// SmallConfig is a reduced configuration for tests and quick demos: a
+// ~7x smaller network with proportionally smaller study datasets. Shapes
+// are preserved; absolute counts are not.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Network.Segments = 8000
+	cfg.Study.TargetCrashInstances = 2400
+	cfg.Study.TargetNoCrashInstances = 2300
+	cfg.Tree.MinLeaf = 15
+	cfg.RegTree.MinLeaf = 15
+	cfg.ClusterK = 16
+	return cfg
+}
+
+func (c Config) validate() error {
+	if c.TrainFrac <= 0 || c.TrainFrac >= 1 {
+		return fmt.Errorf("core: TrainFrac %v outside (0,1)", c.TrainFrac)
+	}
+	if len(c.Thresholds) == 0 {
+		return fmt.Errorf("core: no thresholds configured")
+	}
+	prev := 0
+	for _, t := range c.Thresholds {
+		if t <= prev {
+			return fmt.Errorf("core: thresholds must be strictly increasing positive, got %v", c.Thresholds)
+		}
+		prev = t
+	}
+	if c.CVFolds < 2 {
+		return fmt.Errorf("core: CVFolds must be at least 2, got %d", c.CVFolds)
+	}
+	if c.ClusterK < 2 {
+		return fmt.Errorf("core: ClusterK must be at least 2, got %d", c.ClusterK)
+	}
+	return nil
+}
+
+// Study holds the generated data and caches experiment results, since
+// several figures reuse the table sweeps.
+type Study struct {
+	Config Config
+	Net    *roadnet.Network
+	Data   *roadnet.Study
+
+	// combined is the phase 1 crash/no-crash dataset; crashOnly is the
+	// phase 2 dataset. Both carry the road attributes plus crash_count.
+	combined  *data.Dataset
+	crashOnly *data.Dataset
+
+	table3 []SweepRow
+	table4 []SweepRow
+	table5 []BayesRow
+}
+
+// NewStudy generates the network and prepares the modeling datasets.
+func NewStudy(cfg Config) (*Study, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	net, err := roadnet.Generate(cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	st, err := roadnet.ExtractStudy(net, cfg.Study)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{Config: cfg, Net: net, Data: st}
+
+	keep := append(roadnet.RoadAttrNames(), roadnet.CrashCountAttr)
+	crash, err := st.Crash.KeepAttrs(keep...)
+	if err != nil {
+		return nil, err
+	}
+	s.crashOnly = crash.WithName("crash-only")
+	noCrash, err := st.NoCrash.KeepAttrs(keep...)
+	if err != nil {
+		return nil, err
+	}
+	s.combined, err = crash.Concat("crash+no-crash", noCrash)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// InvalidateCache drops memoized sweep results so benchmarks can time the
+// real work of each experiment.
+func (s *Study) InvalidateCache() {
+	s.table3, s.table4, s.table5 = nil, nil, nil
+}
+
+// CombinedDataset returns the phase 1 modeling dataset (road attributes +
+// crash_count over crash and no-crash instances).
+func (s *Study) CombinedDataset() *data.Dataset { return s.combined }
+
+// CrashOnlyDataset returns the phase 2 modeling dataset.
+func (s *Study) CrashOnlyDataset() *data.Dataset { return s.crashOnly }
+
+// withTargets returns base plus the binary and interval crash-proneness
+// targets for a threshold, along with their column indices and the feature
+// column list (road attributes only).
+func (s *Study) withTargets(base *data.Dataset, threshold int) (ds *data.Dataset, binCol, numCol int, features []int, err error) {
+	ds, err = base.CountThresholdTarget(roadnet.CrashCountAttr, threshold, TargetAttr)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	binCol = ds.MustAttrIndex(TargetAttr)
+	num := make([]float64, ds.Len())
+	copy(num, ds.Col(binCol))
+	ds, err = ds.AppendColumn(data.Attribute{Name: TargetNumAttr, Kind: data.Interval}, num)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	binCol = ds.MustAttrIndex(TargetAttr)
+	numCol = ds.MustAttrIndex(TargetNumAttr)
+	for _, name := range roadnet.RoadAttrNames() {
+		features = append(features, ds.MustAttrIndex(name))
+	}
+	return ds, binCol, numCol, features, nil
+}
+
+// splitSeed derives a deterministic per-run seed so each threshold and
+// phase gets an independent but reproducible split.
+func (s *Study) splitSeed(phase string, threshold int) uint64 {
+	h := s.Config.Seed
+	for _, ch := range phase {
+		h = h*1099511628211 + uint64(ch)
+	}
+	return h*1099511628211 + uint64(threshold+1)
+}

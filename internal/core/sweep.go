@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/eval"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/rng"
+)
+
+// SweepRow is one line of Tables 3 and 4: the regression-tree and
+// decision-tree assessment of a single crash-proneness threshold.
+type SweepRow struct {
+	Threshold int // crash-count threshold; 0 is the crash/no-crash model
+
+	// Regression tree (F-test, target as interval).
+	RSquared  float64
+	RegLeaves int
+
+	// Decision tree (chi-square, Boolean target).
+	NPV               float64
+	PPV               float64
+	MCPV              float64 // min(PPV, NPV), the paper's statistic
+	Misclassification float64
+	Kappa             float64
+	DTLeaves          int
+
+	// Class balance of the derived dataset (Table 1 bookkeeping).
+	NonProne, Prone int
+}
+
+// runThreshold evaluates both tree learners at one threshold on one base
+// dataset using the paper's train/validation method.
+func (s *Study) runThreshold(base *data.Dataset, phase string, threshold int) (SweepRow, error) {
+	row := SweepRow{Threshold: threshold}
+	ds, binCol, numCol, features, err := s.withTargets(base, threshold)
+	if err != nil {
+		return row, err
+	}
+	row.NonProne, row.Prone = ds.ClassCounts(binCol)
+	if row.NonProne == 0 || row.Prone == 0 {
+		return row, fmt.Errorf("core: threshold %d leaves a single class (%d/%d)", threshold, row.NonProne, row.Prone)
+	}
+	r := rng.New(s.splitSeed(phase, threshold))
+	train, valid, err := ds.StratifiedSplit(r, s.Config.TrainFrac, binCol)
+	if err != nil {
+		return row, err
+	}
+
+	// Decision tree with chi-square splits on the Boolean target.
+	dtCfg := s.Config.Tree
+	dtCfg.Features = features
+	dtTrainer := func(tr *data.Dataset, tgt int) (eval.Classifier, error) {
+		return tree.Grow(tr, tgt, dtCfg)
+	}
+	res, err := eval.EvaluateSplit(dtTrainer, train, valid, binCol)
+	if err != nil {
+		return row, fmt.Errorf("core: decision tree at threshold %d: %w", threshold, err)
+	}
+	row.NPV = res.Confusion.NPV()
+	row.PPV = res.Confusion.PPV()
+	row.MCPV = res.Confusion.MCPV()
+	row.Misclassification = res.Confusion.Misclassification()
+	row.Kappa = res.Confusion.Kappa()
+	// Leaf count reported from a tree grown with the same config (the
+	// trainer's tree is owned by the harness, so grow again — cheap and
+	// deterministic).
+	dt, err := tree.Grow(train, binCol, dtCfg)
+	if err != nil {
+		return row, err
+	}
+	row.DTLeaves = dt.Leaves()
+
+	// Regression tree with F-test splits on the interval target.
+	rtCfg := s.Config.RegTree
+	rtCfg.Features = features
+	rt, err := tree.GrowRegression(train, numCol, rtCfg)
+	if err != nil {
+		return row, fmt.Errorf("core: regression tree at threshold %d: %w", threshold, err)
+	}
+	row.RegLeaves = rt.Leaves()
+	var actual, predicted []float64
+	rawRow := make([]float64, valid.NumAttrs())
+	for i := 0; i < valid.Len(); i++ {
+		a := valid.At(i, numCol)
+		if data.IsMissing(a) {
+			continue
+		}
+		rawRow = valid.Row(i, rawRow)
+		actual = append(actual, a)
+		predicted = append(predicted, rt.Predict(rawRow))
+	}
+	row.RSquared = eval.RSquared(actual, predicted)
+	return row, nil
+}
+
+// Table3 runs the phase 1 sweep on the crash/no-crash dataset, including
+// the >0 crash/no-crash boundary model, regenerating Table 3.
+func (s *Study) Table3() ([]SweepRow, error) {
+	if s.table3 != nil {
+		return s.table3, nil
+	}
+	thresholds := append([]int{0}, s.Config.Thresholds...)
+	rows := make([]SweepRow, 0, len(thresholds))
+	for _, t := range thresholds {
+		row, err := s.runThreshold(s.combined, "phase1", t)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	s.table3 = rows
+	return rows, nil
+}
+
+// Table4 runs the phase 2 sweep on the crash-only dataset, regenerating
+// Table 4.
+func (s *Study) Table4() ([]SweepRow, error) {
+	if s.table4 != nil {
+		return s.table4, nil
+	}
+	rows := make([]SweepRow, 0, len(s.Config.Thresholds))
+	for _, t := range s.Config.Thresholds {
+		row, err := s.runThreshold(s.crashOnly, "phase2", t)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	s.table4 = rows
+	return rows, nil
+}
+
+// minReliableMinority is the smallest minority-class share whose assessment
+// the threshold selection trusts. The paper dismisses its CP-64 results on
+// exactly this ground: "the high classification rate at 64 crashes is due
+// to the low instance count and crashes referencing the same road segment
+// and is unreliable".
+const minReliableMinority = 0.02
+
+// BestThreshold returns the threshold whose MCPV peaks, the paper's
+// decision rule for the crash-proneness boundary ("the strategy was to
+// select the threshold from the model assessed with the highest
+// classification rate near the crash/no crash boundary"). Rows with a
+// degenerate MCPV or an unreliably small minority class are skipped.
+func BestThreshold(rows []SweepRow) (int, error) {
+	best, bestV := 0, math.Inf(-1)
+	found := false
+	for _, r := range rows {
+		if math.IsNaN(r.MCPV) {
+			continue
+		}
+		if n := r.NonProne + r.Prone; n > 0 {
+			minority := math.Min(float64(r.NonProne), float64(r.Prone)) / float64(n)
+			if minority < minReliableMinority {
+				continue
+			}
+		}
+		if r.MCPV > bestV {
+			best, bestV = r.Threshold, r.MCPV
+			found = true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("core: no assessable rows")
+	}
+	return best, nil
+}
+
+// Table1Row is one line of Table 1: the class sizes of a crash-proneness
+// dataset derived from the crash-only data.
+type Table1Row struct {
+	Label     string
+	Threshold int
+	NonProne  int
+	Prone     int
+	Total     int
+}
+
+// Table1 regenerates Table 1's dataset inventory.
+func (s *Study) Table1() ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(s.Config.Thresholds))
+	for _, t := range s.Config.Thresholds {
+		ds, binCol, _, _, err := s.withTargets(s.crashOnly, t)
+		if err != nil {
+			return nil, err
+		}
+		neg, pos := ds.ClassCounts(binCol)
+		rows = append(rows, Table1Row{
+			Label:     fmt.Sprintf("CP-%d", t),
+			Threshold: t,
+			NonProne:  neg,
+			Prone:     pos,
+			Total:     neg + pos,
+		})
+	}
+	return rows, nil
+}

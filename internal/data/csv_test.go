@@ -1,0 +1,81 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("sample", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.NumAttrs() != d.NumAttrs() {
+		t.Fatalf("round trip shape %dx%d", back.Len(), back.NumAttrs())
+	}
+	for j := range d.Attrs() {
+		if back.Attr(j).Kind != d.Attr(j).Kind || back.Attr(j).Name != d.Attr(j).Name {
+			t.Fatalf("attr %d changed: %+v vs %+v", j, back.Attr(j), d.Attr(j))
+		}
+		for i := 0; i < d.Len(); i++ {
+			a, b := d.At(i, j), back.At(i, j)
+			if IsMissing(a) != IsMissing(b) || (!IsMissing(a) && a != b) {
+				t.Fatalf("value (%d,%d) changed: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	// Nominal levels survive (discovered in data order).
+	if back.Attr(1).Levels[0] != "asphalt" {
+		t.Fatalf("levels = %v", back.Attr(1).Levels)
+	}
+}
+
+func TestReadCSVVariants(t *testing.T) {
+	in := "x,flag:binary,kind:nominal\n1.5,true,aa\n,no,bb\n?,1,aa\n"
+	d, err := ReadCSV("v", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attr(0).Kind != Interval {
+		t.Fatal("kind-less header should default to interval")
+	}
+	if d.At(0, 1) != 1 || d.At(1, 1) != 0 || d.At(2, 1) != 1 {
+		t.Fatalf("binary parsing wrong: %v", d.Col(1))
+	}
+	if !IsMissing(d.At(1, 0)) || !IsMissing(d.At(2, 0)) {
+		t.Fatal("empty and ? cells should be missing")
+	}
+	if d.At(2, 2) != 0 { // "aa" was first level
+		t.Fatalf("nominal level reuse wrong: %v", d.Col(2))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"x:weird\n1\n",    // unknown kind
+		"x\n1,2\n",        // field count mismatch (csv reader catches)
+		"x:binary\nmeh\n", // bad binary cell
+		"x\nabc\n",        // bad interval cell
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	d, err := ReadCSV("empty", strings.NewReader("a,b:binary\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || d.NumAttrs() != 2 {
+		t.Fatalf("empty-body dataset %dx%d", d.Len(), d.NumAttrs())
+	}
+}

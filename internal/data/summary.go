@@ -1,0 +1,72 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+
+	"roadcrash/internal/stats"
+)
+
+// AttrSummary captures the per-attribute screening statistics the study's
+// pre-processing phase collects ("all variables underwent the standard
+// pre-processing and distribution testing by examining the relevance of
+// missing values and relevance of distribution skew").
+type AttrSummary struct {
+	Attribute Attribute
+	N         int // non-missing count
+	Missing   int
+	Mean      float64
+	StdDev    float64
+	Min       float64
+	Max       float64
+	Skewness  float64
+	// LevelCounts holds per-level instance counts for nominal attributes.
+	LevelCounts []int
+}
+
+// Summarize computes summaries for every attribute.
+func (d *Dataset) Summarize() []AttrSummary {
+	out := make([]AttrSummary, len(d.attrs))
+	for j, a := range d.attrs {
+		s := AttrSummary{Attribute: a, Missing: d.MissingCount(j)}
+		var vals []float64
+		for _, v := range d.cols[j] {
+			if !IsMissing(v) {
+				vals = append(vals, v)
+			}
+		}
+		s.N = len(vals)
+		if a.Kind == Nominal {
+			s.LevelCounts = make([]int, len(a.Levels))
+			for _, v := range vals {
+				s.LevelCounts[int(v)]++
+			}
+		}
+		if len(vals) > 0 {
+			s.Mean = stats.Mean(vals)
+			s.StdDev = stats.StdDev(vals)
+			s.Min, s.Max = stats.MinMax(vals)
+			s.Skewness = stats.Skewness(vals)
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// String renders the dataset schema and summary statistics as a fixed-width
+// report.
+func (d *Dataset) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset %q: %d instances, %d attributes\n", d.name, d.n, len(d.attrs))
+	for _, s := range d.Summarize() {
+		switch s.Attribute.Kind {
+		case Nominal:
+			fmt.Fprintf(&b, "  %-24s %-8s n=%-6d miss=%-5d levels=%d\n",
+				s.Attribute.Name, s.Attribute.Kind, s.N, s.Missing, len(s.Attribute.Levels))
+		default:
+			fmt.Fprintf(&b, "  %-24s %-8s n=%-6d miss=%-5d mean=%-10.4g sd=%-10.4g range=[%.4g, %.4g] skew=%.3g\n",
+				s.Attribute.Name, s.Attribute.Kind, s.N, s.Missing, s.Mean, s.StdDev, s.Min, s.Max, s.Skewness)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// Classifier scores one instance with the probability of the positive
+// ("crash prone") class. Interfaces are defined here, at the consumer, so
+// every mining package can satisfy them without importing eval.
+type Classifier interface {
+	PredictProb(row []float64) float64
+}
+
+// Regressor predicts an interval target for one instance.
+type Regressor interface {
+	Predict(row []float64) float64
+}
+
+// ClassifierTrainer builds a classifier from a training set with the given
+// binary target column. Feature columns are every column except the target.
+type ClassifierTrainer func(train *data.Dataset, target int) (Classifier, error)
+
+// RegressorTrainer builds a regressor for an interval target column.
+type RegressorTrainer func(train *data.Dataset, target int) (Regressor, error)
+
+// SplitResult is the outcome of a train/validation assessment.
+type SplitResult struct {
+	Confusion Confusion
+	AUC       float64 // NaN when the validation set is single-class
+	Scores    []float64
+	Labels    []bool
+}
+
+// EvaluateSplit trains on train and scores valid at the 0.5 operating
+// point, skipping instances whose target is missing.
+func EvaluateSplit(trainer ClassifierTrainer, train, valid *data.Dataset, target int) (SplitResult, error) {
+	var res SplitResult
+	model, err := trainer(train, target)
+	if err != nil {
+		return res, fmt.Errorf("eval: training: %w", err)
+	}
+	row := make([]float64, valid.NumAttrs())
+	for i := 0; i < valid.Len(); i++ {
+		actual := valid.At(i, target)
+		if data.IsMissing(actual) {
+			continue
+		}
+		row = valid.Row(i, row)
+		p := model.PredictProb(row)
+		res.Scores = append(res.Scores, p)
+		res.Labels = append(res.Labels, actual == 1)
+		res.Confusion.Add(actual == 1, p >= 0.5)
+	}
+	if res.Confusion.N() == 0 {
+		return res, fmt.Errorf("eval: validation set has no labelled instances")
+	}
+	if auc, err := AUCFromScores(res.Scores, res.Labels); err == nil {
+		res.AUC = auc
+	} else {
+		res.AUC = math.NaN()
+	}
+	return res, nil
+}
+
+// EvaluateRegressionSplit trains a regressor and returns its validation R²
+// along with actual/predicted series.
+func EvaluateRegressionSplit(trainer RegressorTrainer, train, valid *data.Dataset, target int) (r2 float64, actual, predicted []float64, err error) {
+	model, err := trainer(train, target)
+	if err != nil {
+		return math.NaN(), nil, nil, fmt.Errorf("eval: training: %w", err)
+	}
+	row := make([]float64, valid.NumAttrs())
+	for i := 0; i < valid.Len(); i++ {
+		a := valid.At(i, target)
+		if data.IsMissing(a) {
+			continue
+		}
+		row = valid.Row(i, row)
+		actual = append(actual, a)
+		predicted = append(predicted, model.Predict(row))
+	}
+	if len(actual) == 0 {
+		return math.NaN(), nil, nil, fmt.Errorf("eval: validation set has no labelled instances")
+	}
+	return RSquared(actual, predicted), actual, predicted, nil
+}
+
+// CrossValidate runs k-fold cross-validation (the paper's "10 times
+// cross-validation" for the supporting models), pooling the fold confusion
+// matrices and scores into one result.
+func CrossValidate(trainer ClassifierTrainer, ds *data.Dataset, target, k int, r *rng.Source) (SplitResult, error) {
+	var res SplitResult
+	folds, err := ds.KFold(r, k)
+	if err != nil {
+		return res, err
+	}
+	for f, fold := range folds {
+		train := ds.Subset(fmt.Sprintf("%s/cv%d-train", ds.Name(), f), fold[0])
+		valid := ds.Subset(fmt.Sprintf("%s/cv%d-valid", ds.Name(), f), fold[1])
+		fr, err := EvaluateSplit(trainer, train, valid, target)
+		if err != nil {
+			return res, fmt.Errorf("eval: fold %d: %w", f, err)
+		}
+		res.Confusion.Merge(fr.Confusion)
+		res.Scores = append(res.Scores, fr.Scores...)
+		res.Labels = append(res.Labels, fr.Labels...)
+	}
+	if auc, err := AUCFromScores(res.Scores, res.Labels); err == nil {
+		res.AUC = auc
+	} else {
+		res.AUC = math.NaN()
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64
+	TPR       float64
+}
+
+// ROC computes the ROC curve from positive-class scores and boolean labels.
+// Points are ordered from the most conservative threshold (0,0) to (1,1).
+// It returns an error when the label set is degenerate, because AUC is
+// undefined without both classes — one of Table 2's cautions about highly
+// unbalanced data taken to its limit.
+func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: ROC with %d scores but %d labels", len(scores), len(labels))
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	points := []ROCPoint{{Threshold: math.Inf(1), FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	i := 0
+	for i < len(idx) {
+		// Advance over ties as one block so the curve is threshold-correct.
+		th := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == th {
+			if labels[idx[i]] {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, ROCPoint{
+			Threshold: th,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+	}
+	return points, nil
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration.
+func AUC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return math.NaN()
+	}
+	area := 0.0
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// AUCFromScores is the one-shot convenience composing ROC and AUC.
+func AUCFromScores(scores []float64, labels []bool) (float64, error) {
+	pts, err := ROC(scores, labels)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return AUC(pts), nil
+}
+
+// RSquared returns the coefficient of determination 1 - SS(err)/SS(total),
+// the regression-tree assessment statistic of Tables 3 and 4. A constant
+// actual series yields NaN (SS(total)=0).
+func RSquared(actual, predicted []float64) float64 {
+	if len(actual) != len(predicted) || len(actual) == 0 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, a := range actual {
+		mean += a
+	}
+	mean /= float64(len(actual))
+	var ssErr, ssTot float64
+	for i, a := range actual {
+		e := a - predicted[i]
+		ssErr += e * e
+		d := a - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssErr/ssTot
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	auc, err := AUCFromScores(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "perfect AUC", auc, 1, 1e-12)
+}
+
+func TestROCAntiSeparation(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	auc, err := AUCFromScores(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "inverted AUC", auc, 0, 1e-12)
+}
+
+func TestROCRandomScoresTied(t *testing.T) {
+	// All scores identical: a single diagonal step, AUC = 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	auc, err := AUCFromScores(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "tied AUC", auc, 0.5, 1e-12)
+}
+
+func TestROCKnownHandComputation(t *testing.T) {
+	// scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs: (0.8 beats both),
+	// (0.4 beats 0.2, loses to 0.6) → AUC = 3/4.
+	scores := []float64{0.8, 0.4, 0.6, 0.2}
+	labels := []bool{true, true, false, false}
+	auc, err := AUCFromScores(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "AUC", auc, 0.75, 1e-12)
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class labels should error")
+	}
+	if !math.IsNaN(AUC(nil)) {
+		t.Error("AUC of empty curve should be NaN")
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	pts, err := ROC([]float64{0.9, 0.1, 0.5}, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Fatalf("first point = %+v", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("last point = %+v", last)
+	}
+}
+
+// Property: AUC is always within [0,1] and the curve is monotone.
+func TestROCInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		hasPos, hasNeg := false, false
+		for i, b := range raw {
+			scores[i] = float64(b%32) / 32
+			labels[i] = b%3 == 0
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		pts, err := ROC(scores, labels)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].FPR < pts[i-1].FPR-1e-12 || pts[i].TPR < pts[i-1].TPR-1e-12 {
+				return false
+			}
+		}
+		a := AUC(pts)
+		return a >= -1e-12 && a <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	actual := []float64{1, 2, 3, 4}
+	approx(t, "perfect R²", RSquared(actual, actual), 1, 1e-12)
+	meanOnly := []float64{2.5, 2.5, 2.5, 2.5}
+	approx(t, "mean predictor R²", RSquared(actual, meanOnly), 0, 1e-12)
+	if r := RSquared(actual, []float64{10, -10, 10, -10}); r >= 0 {
+		t.Fatalf("bad predictor R² = %v, want negative", r)
+	}
+}
+
+func TestRSquaredEdges(t *testing.T) {
+	if !math.IsNaN(RSquared(nil, nil)) {
+		t.Error("empty R² should be NaN")
+	}
+	if !math.IsNaN(RSquared([]float64{1, 2}, []float64{1})) {
+		t.Error("mismatched R² should be NaN")
+	}
+	if !math.IsNaN(RSquared([]float64{3, 3}, []float64{3, 3})) {
+		t.Error("constant actual R² should be NaN")
+	}
+}

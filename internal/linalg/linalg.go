@@ -1,0 +1,118 @@
+// Package linalg provides the small dense linear-algebra kernel shared by
+// the logistic-regression (IRLS) and M5 model-tree (leaf least squares)
+// learners. Systems in this study are tiny (tens of coefficients), so a
+// plain partial-pivoting Gaussian elimination is the right tool.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports an (effectively) singular system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves A x = b in place for square A (row-major [][]float64),
+// using Gaussian elimination with partial pivoting. A and b are clobbered.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linalg: bad system shape: %dx? vs %d", n, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude below/at the diagonal.
+		pivot := col
+		max := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > max {
+				max, pivot = v, r
+			}
+		}
+		if max < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for c := i + 1; c < n; c++ {
+			sum -= a[i][c] * x[c]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+// LeastSquares fits min ||X w - y||² + ridge ||w||² via the normal
+// equations. X is row-major (n×p). A small ridge keeps collinear designs
+// (one-hot encodings, constant columns inside tree leaves) solvable.
+func LeastSquares(x [][]float64, y []float64, ridge float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("linalg: bad design shape: %d rows vs %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, fmt.Errorf("linalg: empty design matrix")
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge %v", ridge)
+	}
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", r, len(row), p)
+		}
+		for i := 0; i < p; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += ridge
+	}
+	return Solve(xtx, xty)
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot with mismatched lengths")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

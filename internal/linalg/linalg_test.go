@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system should error")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square should error")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched b should error")
+	}
+}
+
+// Property: for random well-conditioned systems, A(Solve(A,b)) ≈ b.
+func TestSolveRoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Build a diagonally dominant 4x4 system from the seed.
+		s := float64(seed%1000) + 1
+		a := make([][]float64, 4)
+		orig := make([][]float64, 4)
+		for i := range a {
+			a[i] = make([]float64, 4)
+			orig[i] = make([]float64, 4)
+			for j := range a[i] {
+				v := math.Sin(s + float64(i*7+j*3))
+				a[i][j] = v
+				orig[i][j] = v
+			}
+			a[i][i] += 5
+			orig[i][i] += 5
+		}
+		b := []float64{1, s / 500, -2, 0.5}
+		borig := append([]float64(nil), b...)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range orig {
+			if math.Abs(Dot(orig[i], x)-borig[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 2 + 3x, with intercept column.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	w, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-2) > 1e-9 || math.Abs(w[1]-3) > 1e-9 {
+		t.Fatalf("w = %v, want [2 3]", w)
+	}
+}
+
+func TestLeastSquaresRidgeHandlesCollinear(t *testing.T) {
+	// Duplicate columns: singular without ridge, solvable with it.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{2, 4, 6}
+	if _, err := LeastSquares(x, y, 0); err == nil {
+		t.Fatal("collinear design without ridge should be singular")
+	}
+	w, err := LeastSquares(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction still correct even though w is split across the twins.
+	if pred := Dot(w, []float64{2, 2}); math.Abs(pred-4) > 1e-3 {
+		t.Fatalf("prediction = %v, want 4", pred)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil, 0); err == nil {
+		t.Error("empty design should error")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("target length mismatch should error")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("negative ridge should error")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged design should error")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}, 0); err == nil {
+		t.Error("zero-width design should error")
+	}
+}
+
+func TestDotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Dot should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,179 @@
+// Package bayes implements the naive Bayesian classifier the paper runs as
+// a supporting model (Table 5): Gaussian likelihoods for interval
+// attributes, Laplace-smoothed categorical likelihoods for nominal and
+// binary attributes, and missing values simply skipped — the WEKA
+// NaiveBayes behaviour the original study used.
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+)
+
+// Config controls training.
+type Config struct {
+	// Features lists usable feature columns; nil means all except target.
+	Features []int
+	// MinSigma floors the Gaussian s.d. to keep degenerate attributes from
+	// dominating the likelihood.
+	MinSigma float64
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config { return Config{MinSigma: 1e-3} }
+
+type gaussian struct{ mean, sd float64 }
+
+type attrModel struct {
+	kind data.Kind
+	// Interval: per-class Gaussians. Nominal/Binary: per-class level counts.
+	gauss  [2]gaussian
+	counts [2][]float64
+	totals [2]float64
+}
+
+// Model is a fitted naive Bayes classifier. Attribute models are kept in a
+// fixed order so that log-likelihood sums are bit-for-bit reproducible.
+type Model struct {
+	prior  [2]float64 // log priors
+	cols   []int
+	attrs  []*attrModel
+	target int
+}
+
+// Train fits the classifier on a binary target column.
+func Train(ds *data.Dataset, target int, cfg Config) (*Model, error) {
+	if target < 0 || target >= ds.NumAttrs() {
+		return nil, fmt.Errorf("bayes: target column %d out of range", target)
+	}
+	if ds.Attr(target).Kind != data.Binary {
+		return nil, fmt.Errorf("bayes: target %q must be binary", ds.Attr(target).Name)
+	}
+	if cfg.MinSigma <= 0 {
+		cfg.MinSigma = 1e-3
+	}
+	feats := cfg.Features
+	if feats == nil {
+		for j := 0; j < ds.NumAttrs(); j++ {
+			if j != target {
+				feats = append(feats, j)
+			}
+		}
+	}
+	var classN [2]int
+	for i := 0; i < ds.Len(); i++ {
+		switch ds.At(i, target) {
+		case 0:
+			classN[0]++
+		case 1:
+			classN[1]++
+		}
+	}
+	n := classN[0] + classN[1]
+	if classN[0] == 0 || classN[1] == 0 {
+		return nil, fmt.Errorf("bayes: training data has a single class (%d/%d)", classN[0], classN[1])
+	}
+	m := &Model{target: target}
+	// Laplace-smoothed priors.
+	m.prior[0] = math.Log(float64(classN[0]+1) / float64(n+2))
+	m.prior[1] = math.Log(float64(classN[1]+1) / float64(n+2))
+
+	for _, j := range feats {
+		if j == target {
+			return nil, fmt.Errorf("bayes: target column %d listed as feature", j)
+		}
+		if j < 0 || j >= ds.NumAttrs() {
+			return nil, fmt.Errorf("bayes: feature column %d out of range", j)
+		}
+		a := ds.Attr(j)
+		am := &attrModel{kind: a.Kind}
+		switch a.Kind {
+		case data.Interval:
+			var sum, sumSq [2]float64
+			var cnt [2]int
+			for i := 0; i < ds.Len(); i++ {
+				y := ds.At(i, target)
+				if data.IsMissing(y) {
+					continue
+				}
+				v := ds.At(i, j)
+				if data.IsMissing(v) {
+					continue
+				}
+				c := int(y)
+				sum[c] += v
+				sumSq[c] += v * v
+				cnt[c]++
+			}
+			for c := 0; c < 2; c++ {
+				if cnt[c] == 0 {
+					am.gauss[c] = gaussian{0, 1e6} // uninformative
+					continue
+				}
+				mean := sum[c] / float64(cnt[c])
+				variance := sumSq[c]/float64(cnt[c]) - mean*mean
+				sd := math.Sqrt(math.Max(variance, 0))
+				if sd < cfg.MinSigma {
+					sd = cfg.MinSigma
+				}
+				am.gauss[c] = gaussian{mean, sd}
+			}
+		case data.Nominal, data.Binary:
+			levels := len(a.Levels)
+			if a.Kind == data.Binary {
+				levels = 2
+			}
+			if levels == 0 {
+				return nil, fmt.Errorf("bayes: nominal attribute %q has no levels", a.Name)
+			}
+			for c := 0; c < 2; c++ {
+				am.counts[c] = make([]float64, levels)
+			}
+			for i := 0; i < ds.Len(); i++ {
+				y := ds.At(i, target)
+				if data.IsMissing(y) {
+					continue
+				}
+				v := ds.At(i, j)
+				if data.IsMissing(v) {
+					continue
+				}
+				c := int(y)
+				am.counts[c][int(v)]++
+				am.totals[c]++
+			}
+		}
+		m.cols = append(m.cols, j)
+		m.attrs = append(m.attrs, am)
+	}
+	return m, nil
+}
+
+// PredictProb returns P(positive | row), skipping missing attributes.
+func (m *Model) PredictProb(row []float64) float64 {
+	logp := [2]float64{m.prior[0], m.prior[1]}
+	for k, am := range m.attrs {
+		v := row[m.cols[k]]
+		if data.IsMissing(v) {
+			continue
+		}
+		for c := 0; c < 2; c++ {
+			switch am.kind {
+			case data.Interval:
+				g := am.gauss[c]
+				z := (v - g.mean) / g.sd
+				logp[c] += -0.5*z*z - math.Log(g.sd)
+			default:
+				levels := float64(len(am.counts[c]))
+				logp[c] += math.Log((am.counts[c][int(v)] + 1) / (am.totals[c] + levels))
+			}
+		}
+	}
+	// Normalize in log space.
+	max := math.Max(logp[0], logp[1])
+	p0 := math.Exp(logp[0] - max)
+	p1 := math.Exp(logp[1] - max)
+	return p1 / (p0 + p1)
+}

@@ -1,0 +1,182 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// gaussDataset draws two well-separated Gaussian classes.
+func gaussDataset(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("g").Interval("x").Binary("y")
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			b.Row(r.Normal(0, 1), 0)
+		} else {
+			b.Row(r.Normal(4, 1), 1)
+		}
+	}
+	return b.Build()
+}
+
+func accuracy(t *testing.T, m *Model, ds *data.Dataset, target int) float64 {
+	t.Helper()
+	correct := 0
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		if (m.PredictProb(row) >= 0.5) == (ds.At(i, target) == 1) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestGaussianSeparation(t *testing.T) {
+	ds := gaussDataset(2000, 1)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, m, ds, 1); acc < 0.95 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// The midpoint should be genuinely uncertain.
+	if p := m.PredictProb([]float64{2, 0}); p < 0.2 || p > 0.8 {
+		t.Fatalf("P(pos|x=2) = %v, want uncertain", p)
+	}
+}
+
+func TestNominalLikelihoods(t *testing.T) {
+	r := rng.New(2)
+	b := data.NewBuilder("n").Nominal("c", "a", "b").Binary("y")
+	for i := 0; i < 2000; i++ {
+		if r.Bool(0.5) {
+			// Class 1 mostly level b.
+			lv := 0.0
+			if r.Bool(0.9) {
+				lv = 1
+			}
+			b.Row(lv, 1)
+		} else {
+			lv := 1.0
+			if r.Bool(0.9) {
+				lv = 0
+			}
+			b.Row(lv, 0)
+		}
+	}
+	ds := b.Build()
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.PredictProb([]float64{1, 0}); p < 0.7 {
+		t.Fatalf("P(pos|level b) = %v", p)
+	}
+	if p := m.PredictProb([]float64{0, 0}); p > 0.3 {
+		t.Fatalf("P(pos|level a) = %v", p)
+	}
+}
+
+func TestMissingValuesSkipped(t *testing.T) {
+	ds := gaussDataset(1000, 3)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-missing row falls back to the prior (~0.5 here).
+	p := m.PredictProb([]float64{data.Missing, 0})
+	if math.Abs(p-0.5) > 0.05 {
+		t.Fatalf("prior-only prediction = %v", p)
+	}
+}
+
+func TestTrainOnMissingFeatureRows(t *testing.T) {
+	b := data.NewBuilder("m").Interval("x").Binary("y")
+	r := rng.New(4)
+	for i := 0; i < 500; i++ {
+		x := r.Normal(0, 1)
+		y := 0.0
+		if i%2 == 1 {
+			x = r.Normal(3, 1)
+			y = 1
+		}
+		if i%7 == 0 {
+			x = data.Missing
+		}
+		b.Row(x, y)
+	}
+	ds := b.Build()
+	m, err := Train(ds, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, m, ds, 1); acc < 0.8 {
+		t.Fatalf("accuracy with missing = %v", acc)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := gaussDataset(100, 5)
+	if _, err := Train(ds, 99, DefaultConfig()); err == nil {
+		t.Error("bad target should error")
+	}
+	if _, err := Train(ds, ds.MustAttrIndex("x"), DefaultConfig()); err == nil {
+		t.Error("interval target should error")
+	}
+	cfg := DefaultConfig()
+	cfg.Features = []int{1}
+	if _, err := Train(ds, 1, cfg); err == nil {
+		t.Error("target-as-feature should error")
+	}
+	cfg.Features = []int{99}
+	if _, err := Train(ds, 1, cfg); err == nil {
+		t.Error("out-of-range feature should error")
+	}
+	single := data.NewBuilder("s").Interval("x").Binary("y").Row(1, 0).Row(2, 0).Build()
+	if _, err := Train(single, 1, DefaultConfig()); err == nil {
+		t.Error("single-class training should error")
+	}
+}
+
+func TestConstantAttributeSafe(t *testing.T) {
+	b := data.NewBuilder("c").Interval("k").Interval("x").Binary("y")
+	r := rng.New(6)
+	for i := 0; i < 400; i++ {
+		y, x := 0.0, r.Normal(0, 1)
+		if i%2 == 0 {
+			y, x = 1, r.Normal(3, 1)
+		}
+		b.Row(7, x, y) // k constant
+	}
+	ds := b.Build()
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, m, ds, 2); acc < 0.9 {
+		t.Fatalf("accuracy with constant attribute = %v", acc)
+	}
+	p := m.PredictProb([]float64{7, 3, 0})
+	if math.IsNaN(p) {
+		t.Fatal("constant attribute produced NaN")
+	}
+}
+
+func TestProbabilitiesWellFormed(t *testing.T) {
+	ds := gaussDataset(500, 7)
+	m, err := Train(ds, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -10.0; x <= 10; x += 0.5 {
+		p := m.PredictProb([]float64{x, 0})
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("P(pos|%v) = %v", x, p)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package cluster implements the simple k-means algorithm of the paper's
+// phase 3, which groups the crash-only road segments into 32 clusters and
+// inspects per-cluster crash-count ranges (Figure 4). Seeding uses
+// k-means++ for stable, well-spread initial centroids; features come from
+// the encode package's standardized design so attribute scales are
+// comparable.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/encode"
+	"roadcrash/internal/rng"
+)
+
+// Config controls the clustering run.
+type Config struct {
+	K        int
+	MaxIter  int
+	Seed     uint64
+	Exclude  []string // attributes left out of the distance space
+	MinMoved int      // convergence: stop when fewer points change cluster
+}
+
+// DefaultConfig mirrors the paper's phase 3 setup ("simple k-means as the
+// method, configured to provide 32 clusters").
+func DefaultConfig() Config {
+	return Config{K: 32, MaxIter: 100, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("cluster: K must be positive, got %d", c.K)
+	}
+	if c.MaxIter <= 0 {
+		return fmt.Errorf("cluster: MaxIter must be positive, got %d", c.MaxIter)
+	}
+	return nil
+}
+
+// Result is a fitted clustering.
+type Result struct {
+	Centroids  [][]float64
+	Assignment []int // instance → cluster
+	Sizes      []int
+	Inertia    float64 // total within-cluster squared distance
+	Iterations int
+	enc        *encode.Encoder
+}
+
+// Run clusters the dataset. Instances with missing values participate via
+// the encoder's imputation.
+func Run(ds *data.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ds.Len() < cfg.K {
+		return nil, fmt.Errorf("cluster: %d instances for K=%d", ds.Len(), cfg.K)
+	}
+	enc, err := encode.Fit(ds, encode.Options{Exclude: cfg.Exclude})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	points := enc.Matrix(ds)
+	r := rng.New(cfg.Seed)
+
+	centroids := seedPlusPlus(r, points, cfg.K)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{Centroids: centroids, Assignment: assign, enc: enc}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		moved := 0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				moved++
+			}
+		}
+		res.Iterations = iter + 1
+		if moved <= cfg.MinMoved {
+			break
+		}
+		// Recompute centroids; empty clusters re-seed to the point farthest
+		// from its centroid, the standard k-means repair.
+		counts := make([]int, cfg.K)
+		next := make([][]float64, cfg.K)
+		for c := range next {
+			next[c] = make([]float64, enc.Width())
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				next[c][j] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(next[c], points[far])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range next[c] {
+				next[c][j] *= inv
+			}
+		}
+		centroids = next
+		res.Centroids = centroids
+	}
+
+	res.Sizes = make([]int, cfg.K)
+	for i, p := range points {
+		res.Sizes[assign[i]]++
+		res.Inertia += sqDist(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// seedPlusPlus picks K initial centroids with k-means++ weighting.
+func seedPlusPlus(r *rng.Source, points [][]float64, k int) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[r.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	dist := make([]float64, len(points))
+	for i, p := range points {
+		dist[i] = sqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range dist {
+			total += d
+		}
+		var chosen int
+		if total == 0 {
+			chosen = r.Intn(len(points))
+		} else {
+			x := r.Float64() * total
+			for i, d := range dist {
+				x -= d
+				if x < 0 {
+					chosen = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[chosen]...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// Members returns the instance indices of cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assignment {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// GroupColumn splits the values of a dataset column by cluster — the raw
+// material of Figure 4's per-cluster crash-count ranges and the ANOVA.
+func (r *Result) GroupColumn(col []float64) [][]float64 {
+	groups := make([][]float64, len(r.Sizes))
+	for i, a := range r.Assignment {
+		v := col[i]
+		if data.IsMissing(v) {
+			continue
+		}
+		groups[a] = append(groups[a], v)
+	}
+	return groups
+}

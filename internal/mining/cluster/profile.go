@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/stats"
+)
+
+// AttrSignal measures how far one attribute's cluster mean sits from the
+// population mean, in population standard deviations.
+type AttrSignal struct {
+	Attr    string
+	Mean    float64 // cluster mean (interval/binary attributes)
+	PopMean float64
+	Z       float64 // (mean - popMean) / popSD
+}
+
+// Profile characterizes one cluster by its most distinguishing attributes —
+// the analysis the paper schedules as future work ("the full range of
+// attribute values partitioned by cluster will be analyzed to develop
+// attribute correlations with the cluster groups").
+type Profile struct {
+	Cluster int
+	Size    int
+	// Signals is sorted by |Z| descending; nominal attributes are skipped.
+	Signals []AttrSignal
+}
+
+// ProfileColumns profiles every cluster against the population over the
+// dataset's interval and binary attributes. Missing values are skipped per
+// attribute. Clusters with no members are omitted.
+func (r *Result) ProfileColumns(ds *data.Dataset) ([]Profile, error) {
+	if ds.Len() != len(r.Assignment) {
+		return nil, fmt.Errorf("cluster: dataset has %d instances, clustering has %d", ds.Len(), len(r.Assignment))
+	}
+	type colStat struct {
+		j       int
+		name    string
+		popMean float64
+		popSD   float64
+	}
+	var cols []colStat
+	for j, a := range ds.Attrs() {
+		if a.Kind == data.Nominal {
+			continue
+		}
+		var vals []float64
+		for _, v := range ds.Col(j) {
+			if !data.IsMissing(v) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			continue
+		}
+		sd := stats.StdDev(vals)
+		if sd == 0 || math.IsNaN(sd) {
+			continue
+		}
+		cols = append(cols, colStat{j: j, name: a.Name, popMean: stats.Mean(vals), popSD: sd})
+	}
+	var profiles []Profile
+	for c := range r.Sizes {
+		members := r.Members(c)
+		if len(members) == 0 {
+			continue
+		}
+		p := Profile{Cluster: c, Size: len(members)}
+		for _, cs := range cols {
+			var sum float64
+			n := 0
+			for _, i := range members {
+				v := ds.At(i, cs.j)
+				if data.IsMissing(v) {
+					continue
+				}
+				sum += v
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			mean := sum / float64(n)
+			p.Signals = append(p.Signals, AttrSignal{
+				Attr: cs.name, Mean: mean, PopMean: cs.popMean,
+				Z: (mean - cs.popMean) / cs.popSD,
+			})
+		}
+		sort.Slice(p.Signals, func(a, b int) bool {
+			return math.Abs(p.Signals[a].Z) > math.Abs(p.Signals[b].Z)
+		})
+		profiles = append(profiles, p)
+	}
+	return profiles, nil
+}
+
+// Top returns the n most distinguishing signals of the profile.
+func (p Profile) Top(n int) []AttrSignal {
+	if n > len(p.Signals) {
+		n = len(p.Signals)
+	}
+	return p.Signals[:n]
+}

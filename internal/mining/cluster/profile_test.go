@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+func TestProfileColumnsFindsSignals(t *testing.T) {
+	// Two blobs separated only on x; y is common noise. The profile must
+	// rank x far above y for both clusters.
+	r := rng.New(1)
+	b := data.NewBuilder("p").Interval("x").Interval("y")
+	for i := 0; i < 400; i++ {
+		x := r.Normal(0, 0.5)
+		if i%2 == 0 {
+			x += 10
+		}
+		b.Row(x, r.Normal(5, 1))
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.K = 2
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := res.ProfileColumns(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for _, p := range profiles {
+		top := p.Top(1)
+		if len(top) != 1 || top[0].Attr != "x" {
+			t.Fatalf("cluster %d top signal = %+v, want x", p.Cluster, top)
+		}
+		if math.Abs(top[0].Z) < 0.5 {
+			t.Fatalf("cluster %d: |Z| = %v, want strong", p.Cluster, top[0].Z)
+		}
+		// y is near population mean in both clusters.
+		for _, sig := range p.Signals {
+			if sig.Attr == "y" && math.Abs(sig.Z) > 0.3 {
+				t.Fatalf("cluster %d: noise attribute z = %v", p.Cluster, sig.Z)
+			}
+		}
+	}
+}
+
+func TestProfileSkipsNominalAndConstant(t *testing.T) {
+	r := rng.New(2)
+	b := data.NewBuilder("s").Interval("x").Nominal("c", "a", "b").Interval("k")
+	for i := 0; i < 100; i++ {
+		x := r.Normal(0, 1)
+		if i%2 == 0 {
+			x += 6
+		}
+		b.Row(x, float64(i%2), 7) // k constant
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.K = 2
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := res.ProfileColumns(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		for _, sig := range p.Signals {
+			if sig.Attr == "c" || sig.Attr == "k" {
+				t.Fatalf("profile includes %s", sig.Attr)
+			}
+		}
+	}
+}
+
+func TestProfileShapeMismatch(t *testing.T) {
+	r := rng.New(3)
+	b := data.NewBuilder("m").Interval("x")
+	for i := 0; i < 50; i++ {
+		b.Row(r.Normal(0, 1))
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.K = 2
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := data.NewBuilder("o").Interval("x").Row(1).Build()
+	if _, err := res.ProfileColumns(other); err == nil {
+		t.Fatal("mismatched dataset should error")
+	}
+}
+
+func TestProfileTopBounds(t *testing.T) {
+	p := Profile{Signals: []AttrSignal{{Attr: "a"}, {Attr: "b"}}}
+	if len(p.Top(10)) != 2 {
+		t.Fatal("Top should clamp to available signals")
+	}
+	if len(p.Top(1)) != 1 {
+		t.Fatal("Top(1) wrong")
+	}
+}
+
+func TestProfileHandlesMissing(t *testing.T) {
+	r := rng.New(4)
+	b := data.NewBuilder("pm").Interval("x").Interval("z")
+	for i := 0; i < 200; i++ {
+		x := r.Normal(0, 1)
+		if i%2 == 0 {
+			x += 8
+		}
+		z := r.Normal(0, 1)
+		if i%5 == 0 {
+			z = data.Missing
+		}
+		b.Row(x, z)
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.K = 2
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := res.ProfileColumns(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		for _, sig := range p.Signals {
+			if math.IsNaN(sig.Z) {
+				t.Fatalf("NaN z-score for %s", sig.Attr)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package ensemble
+
+import (
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/rng"
+)
+
+// noisyThreshold builds a threshold problem with label noise so single
+// trees overfit and ensembles have something to average away.
+func noisyThreshold(n int, noise float64, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("noisy").Interval("x1").Interval("x2").Binary("y")
+	for i := 0; i < n; i++ {
+		x1, x2 := r.Float64(), r.Float64()
+		y := 0.0
+		if x1+0.5*x2 > 0.75 {
+			y = 1
+		}
+		if r.Bool(noise) {
+			y = 1 - y
+		}
+		b.Row(x1, x2, y)
+	}
+	return b.Build()
+}
+
+func accuracy(t *testing.T, m interface {
+	PredictProb([]float64) float64
+}, ds *data.Dataset, target int) float64 {
+	t.Helper()
+	correct := 0
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		if (m.PredictProb(row) >= 0.5) == (ds.At(i, target) == 1) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestBaggingLearns(t *testing.T) {
+	train := noisyThreshold(3000, 0.15, 1)
+	valid := noisyThreshold(1000, 0, 2) // clean labels for honest accuracy
+	cfg := DefaultBaggingConfig()
+	cfg.Trees = 15
+	m, err := TrainBagging(train, train.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 15 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	if acc := accuracy(t, m, valid, 2); acc < 0.9 {
+		t.Fatalf("bagging validation accuracy = %v", acc)
+	}
+}
+
+func TestBaggingBeatsOrMatchesSingleTree(t *testing.T) {
+	train := noisyThreshold(2000, 0.25, 3)
+	valid := noisyThreshold(1500, 0, 4)
+	target := train.MustAttrIndex("y")
+	treeCfg := tree.DefaultConfig()
+	treeCfg.Alpha = 0.5 // deliberately permissive so the single tree overfits
+	treeCfg.MinLeaf = 5
+	single, err := tree.Grow(train, target, treeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BaggingConfig{Trees: 25, Tree: treeCfg, Seed: 5, SampleFrac: 1}
+	bag, err := TrainBagging(train, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSingle := accuracy(t, single, valid, 2)
+	accBag := accuracy(t, bag, valid, 2)
+	if accBag < accSingle-0.01 {
+		t.Fatalf("bagging %.4f should not lose to the single tree %.4f", accBag, accSingle)
+	}
+}
+
+func TestBaggingErrors(t *testing.T) {
+	ds := noisyThreshold(200, 0, 6)
+	cfg := DefaultBaggingConfig()
+	cfg.Trees = 0
+	if _, err := TrainBagging(ds, 2, cfg); err == nil {
+		t.Error("zero trees should error")
+	}
+	cfg = DefaultBaggingConfig()
+	cfg.SampleFrac = 0
+	if _, err := TrainBagging(ds, 2, cfg); err == nil {
+		t.Error("zero sample fraction should error")
+	}
+	cfg = DefaultBaggingConfig()
+	cfg.SampleFrac = 2
+	if _, err := TrainBagging(ds, 2, cfg); err == nil {
+		t.Error("sample fraction > 1 should error")
+	}
+}
+
+func TestBaggingDeterministic(t *testing.T) {
+	ds := noisyThreshold(500, 0.1, 7)
+	cfg := DefaultBaggingConfig()
+	cfg.Trees = 5
+	m1, err := TrainBagging(ds, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainBagging(ds, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{0.4, 0.6, 0}
+	if m1.PredictProb(row) != m2.PredictProb(row) {
+		t.Fatal("same-seed bagging disagrees")
+	}
+}
+
+func TestAdaBoostLearnsXOR(t *testing.T) {
+	// XOR defeats depth-3 stumps individually but boosting solves it.
+	r := rng.New(8)
+	b := data.NewBuilder("xor").Interval("x1").Interval("x2").Binary("y")
+	for i := 0; i < 3000; i++ {
+		x1, x2 := r.Float64(), r.Float64()
+		y := 0.0
+		if (x1 > 0.5) != (x2 > 0.5) {
+			y = 1
+		}
+		b.Row(x1, x2, y)
+	}
+	ds := b.Build()
+	cfg := DefaultAdaBoostConfig()
+	m, err := TrainAdaBoost(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, m, ds, 2); acc < 0.9 {
+		t.Fatalf("AdaBoost XOR accuracy = %v (rounds kept: %d)", acc, m.Size())
+	}
+}
+
+func TestAdaBoostStopsOnPerfectLearner(t *testing.T) {
+	// Axis-aligned separable data: one split is perfect, boosting stops
+	// after the first round.
+	r := rng.New(9)
+	b := data.NewBuilder("sep").Interval("x").Binary("y")
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()
+		y := 0.0
+		if x > 0.5 {
+			y = 1
+		}
+		b.Row(x, y)
+	}
+	ds := b.Build()
+	cfg := DefaultAdaBoostConfig()
+	cfg.Tree = tree.DefaultConfig()
+	m, err := TrainAdaBoost(ds, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() > 3 {
+		t.Fatalf("boosting kept %d rounds on separable data, expected early stop", m.Size())
+	}
+	if acc := accuracy(t, m, ds, 1); acc < 0.99 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestAdaBoostErrors(t *testing.T) {
+	ds := noisyThreshold(200, 0, 10)
+	cfg := DefaultAdaBoostConfig()
+	cfg.Rounds = 0
+	if _, err := TrainAdaBoost(ds, 2, cfg); err == nil {
+		t.Error("zero rounds should error")
+	}
+	empty := data.NewBuilder("e").Interval("x").Binary("y").Row(1, data.Missing).Build()
+	if _, err := TrainAdaBoost(empty, 1, DefaultAdaBoostConfig()); err == nil {
+		t.Error("no labelled instances should error")
+	}
+}
+
+func TestAdaBoostProbabilitiesBounded(t *testing.T) {
+	ds := noisyThreshold(800, 0.2, 11)
+	m, err := TrainAdaBoost(ds, 2, DefaultAdaBoostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	for i := 0; i < 200; i++ {
+		p := m.PredictProb([]float64{r.Float64(), r.Float64(), 0})
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package m5 implements an M5-style model tree: a variance-reduction
+// regression tree whose leaves hold ridge-regularized linear models over
+// the encoded attributes. The paper lists M5 among the supporting
+// algorithms whose sweep trends corroborate the decision trees.
+package m5
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/linalg"
+	"roadcrash/internal/mining/encode"
+	"roadcrash/internal/mining/tree"
+)
+
+// Config controls tree growth and leaf fitting.
+type Config struct {
+	// Tree controls the underlying regression-tree structure.
+	Tree tree.Config
+	// Ridge regularizes the leaf linear models.
+	Ridge float64
+	// Exclude names attributes dropped from leaf models (the target is
+	// excluded automatically).
+	Exclude []string
+}
+
+// DefaultConfig gives shallow trees with moderately regularized leaves.
+func DefaultConfig() Config {
+	tc := tree.DefaultConfig()
+	tc.MaxDepth = 6
+	tc.MinLeaf = 60
+	tc.MaxLeaves = 32
+	return Config{Tree: tc, Ridge: 1e-4}
+}
+
+// Model is a fitted model tree.
+type Model struct {
+	structure *tree.Tree
+	enc       *encode.Encoder
+	// leafModels maps the structure's leaf ids (ordered rule index) to
+	// linear coefficients; falls back to the leaf mean on singular fits.
+	leafModels map[int][]float64
+	leafMeans  map[int]float64
+	target     int
+}
+
+// Train fits the model tree on an interval target column.
+func Train(ds *data.Dataset, target int, cfg Config) (*Model, error) {
+	if target < 0 || target >= ds.NumAttrs() {
+		return nil, fmt.Errorf("m5: target column %d out of range", target)
+	}
+	if cfg.Ridge <= 0 {
+		cfg.Ridge = 1e-4
+	}
+	structure, err := tree.GrowRegression(ds, target, cfg.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("m5: growing structure: %w", err)
+	}
+	exclude := append([]string{ds.Attr(target).Name}, cfg.Exclude...)
+	enc, err := encode.Fit(ds, encode.Options{Bias: true, Exclude: exclude})
+	if err != nil {
+		return nil, fmt.Errorf("m5: %w", err)
+	}
+	m := &Model{
+		structure:  structure,
+		enc:        enc,
+		leafModels: make(map[int][]float64),
+		leafMeans:  make(map[int]float64),
+		target:     target,
+	}
+	// Group instances by leaf and fit a linear model per leaf.
+	groups := make(map[int][]int)
+	raw := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		if data.IsMissing(ds.At(i, target)) {
+			continue
+		}
+		raw = ds.Row(i, raw)
+		groups[structure.LeafID(raw)] = append(groups[structure.LeafID(raw)], i)
+	}
+	for leaf, idx := range groups {
+		ys := make([]float64, len(idx))
+		xs := make([][]float64, len(idx))
+		sum := 0.0
+		for k, i := range idx {
+			raw = ds.Row(i, raw)
+			xs[k] = enc.Transform(raw, nil)
+			ys[k] = ds.At(i, target)
+			sum += ys[k]
+		}
+		m.leafMeans[leaf] = sum / float64(len(idx))
+		if len(idx) >= 2*enc.Width() {
+			if w, err := linalg.LeastSquares(xs, ys, cfg.Ridge); err == nil {
+				m.leafModels[leaf] = w
+			}
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the model-tree estimate for a full-schema row.
+func (m *Model) Predict(row []float64) float64 {
+	leaf := m.structure.LeafID(row)
+	if w, ok := m.leafModels[leaf]; ok {
+		x := m.enc.Transform(row, nil)
+		return linalg.Dot(w, x)
+	}
+	if mean, ok := m.leafMeans[leaf]; ok {
+		return mean
+	}
+	// A leaf never seen at fit time (possible only with exotic inputs):
+	// fall back to the structural tree's mean.
+	return m.structure.Predict(row)
+}
+
+// PredictProb clamps Predict into [0,1], letting the model tree act as a
+// classifier over a 0/1 target.
+func (m *Model) PredictProb(row []float64) float64 {
+	return math.Min(1, math.Max(0, m.Predict(row)))
+}
+
+// Leaves returns the structural leaf count.
+func (m *Model) Leaves() int { return m.structure.Leaves() }

@@ -1,0 +1,159 @@
+package m5
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// piecewiseLinear: y = 2x for x<0.5, y = 10 - 4x above — a model tree
+// should beat a plain regression tree here.
+func piecewiseLinear(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("pw").Interval("x").Interval("y")
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		var y float64
+		if x < 0.5 {
+			y = 2 * x
+		} else {
+			y = 10 - 4*x
+		}
+		b.Row(x, y+r.Normal(0, 0.05))
+	}
+	return b.Build()
+}
+
+func mse(t *testing.T, m *Model, ds *data.Dataset, target int) float64 {
+	t.Helper()
+	var sum float64
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		d := m.Predict(row) - ds.At(i, target)
+		sum += d * d
+	}
+	return sum / float64(ds.Len())
+}
+
+func TestFitsPiecewiseLinear(t *testing.T) {
+	ds := piecewiseLinear(4000, 1)
+	target := ds.MustAttrIndex("y")
+	m, err := Train(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := mse(t, m, ds, target); e > 0.05 {
+		t.Fatalf("MSE = %v; leaf linear models should capture the slopes", e)
+	}
+	// Check specific values on each branch.
+	if got := m.Predict([]float64{0.25, 0}); math.Abs(got-0.5) > 0.2 {
+		t.Errorf("predict(0.25) = %v, want ~0.5", got)
+	}
+	if got := m.Predict([]float64{0.75, 0}); math.Abs(got-7) > 0.2 {
+		t.Errorf("predict(0.75) = %v, want ~7", got)
+	}
+}
+
+func TestLeafLinearBeatsMean(t *testing.T) {
+	// Single global linear trend with one leaf: the linear model must track
+	// the slope, which a mean leaf cannot.
+	r := rng.New(2)
+	b := data.NewBuilder("lin").Interval("x").Interval("y")
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()
+		b.Row(x, 3*x+r.Normal(0, 0.02))
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.Tree.MaxLeaves = 1 // force a single leaf
+	m, err := Train(ds, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaves() != 1 {
+		t.Fatalf("leaves = %d, want 1", m.Leaves())
+	}
+	if e := mse(t, m, ds, 1); e > 0.01 {
+		t.Fatalf("single-leaf MSE = %v; the leaf model should fit the slope", e)
+	}
+}
+
+func TestPredictProbClamps(t *testing.T) {
+	r := rng.New(3)
+	b := data.NewBuilder("c").Interval("x").Interval("y")
+	for i := 0; i < 500; i++ {
+		x := r.Float64()
+		b.Row(x, 5*x-2) // range [-2, 3]
+	}
+	ds := b.Build()
+	m, err := Train(ds, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.PredictProb([]float64{0.99, 0}); p != 1 {
+		t.Fatalf("high prediction clamps to %v, want 1", p)
+	}
+	if p := m.PredictProb([]float64{0.0, 0}); p != 0 {
+		t.Fatalf("low prediction clamps to %v, want 0", p)
+	}
+}
+
+func TestBinaryTargetAsInterval(t *testing.T) {
+	// The paper's usage: a 0/1 target modeled as interval.
+	r := rng.New(4)
+	b := data.NewBuilder("bt").Interval("x").Interval("y")
+	for i := 0; i < 2000; i++ {
+		x := r.Float64()
+		y := 0.0
+		if x > 0.6 {
+			y = 1
+		}
+		b.Row(x, y)
+	}
+	ds := b.Build()
+	m, err := Train(ds, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.PredictProb([]float64{0.9, 0}); p < 0.8 {
+		t.Fatalf("P(pos|x=0.9) = %v", p)
+	}
+	if p := m.PredictProb([]float64{0.1, 0}); p > 0.2 {
+		t.Fatalf("P(pos|x=0.1) = %v", p)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := piecewiseLinear(100, 5)
+	if _, err := Train(ds, 99, DefaultConfig()); err == nil {
+		t.Error("bad target should error")
+	}
+	tiny := piecewiseLinear(10, 6)
+	if _, err := Train(tiny, 1, DefaultConfig()); err == nil {
+		t.Error("tiny dataset should error (tree growth fails)")
+	}
+}
+
+func TestMissingFeaturesHandled(t *testing.T) {
+	r := rng.New(7)
+	b := data.NewBuilder("m").Interval("x").Interval("z").Interval("y")
+	for i := 0; i < 2000; i++ {
+		x := r.Float64()
+		z := r.Float64()
+		if i%9 == 0 {
+			z = data.Missing
+		}
+		b.Row(x, z, 2*x)
+	}
+	ds := b.Build()
+	m, err := Train(ds, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.5, data.Missing, 0}); math.Abs(got-1) > 0.3 {
+		t.Fatalf("predict with missing z = %v, want ~1", got)
+	}
+}

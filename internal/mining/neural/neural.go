@@ -1,0 +1,199 @@
+// Package neural implements the neural-network supporting model: a single
+// hidden-layer perceptron with tanh activations and a sigmoid output,
+// trained by mini-batch stochastic gradient descent with momentum on the
+// encode package's standardized design.
+package neural
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/encode"
+	"roadcrash/internal/rng"
+)
+
+// Config controls the network and its training run.
+type Config struct {
+	Hidden    int     // hidden units
+	Epochs    int     // full passes over the training data
+	LearnRate float64 // SGD step size
+	Momentum  float64 // classical momentum
+	L2        float64 // weight decay
+	BatchSize int     // mini-batch size
+	Seed      uint64  // weight init and shuffling
+	Exclude   []string
+}
+
+// DefaultConfig gives a small, fast network adequate for the study's
+// tabular data.
+func DefaultConfig() Config {
+	return Config{Hidden: 8, Epochs: 40, LearnRate: 0.05, Momentum: 0.9, L2: 1e-5, BatchSize: 32, Seed: 1}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Hidden <= 0:
+		return fmt.Errorf("neural: Hidden must be positive, got %d", c.Hidden)
+	case c.Epochs <= 0:
+		return fmt.Errorf("neural: Epochs must be positive, got %d", c.Epochs)
+	case c.LearnRate <= 0:
+		return fmt.Errorf("neural: LearnRate must be positive, got %v", c.LearnRate)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("neural: Momentum %v outside [0,1)", c.Momentum)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("neural: BatchSize must be positive, got %d", c.BatchSize)
+	case c.L2 < 0:
+		return fmt.Errorf("neural: L2 must be non-negative, got %v", c.L2)
+	}
+	return nil
+}
+
+// Model is a trained network.
+type Model struct {
+	enc    *encode.Encoder
+	w1     [][]float64 // hidden × (inputs)
+	b1     []float64
+	w2     []float64 // output weights over hidden units
+	b2     float64
+	hidden int
+}
+
+// Train fits the network on a binary target column.
+func Train(ds *data.Dataset, target int, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if target < 0 || target >= ds.NumAttrs() {
+		return nil, fmt.Errorf("neural: target column %d out of range", target)
+	}
+	if ds.Attr(target).Kind != data.Binary {
+		return nil, fmt.Errorf("neural: target %q must be binary", ds.Attr(target).Name)
+	}
+	exclude := append([]string{ds.Attr(target).Name}, cfg.Exclude...)
+	enc, err := encode.Fit(ds, encode.Options{Exclude: exclude})
+	if err != nil {
+		return nil, fmt.Errorf("neural: %w", err)
+	}
+	var xs [][]float64
+	var ys []float64
+	raw := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		y := ds.At(i, target)
+		if data.IsMissing(y) {
+			continue
+		}
+		raw = ds.Row(i, raw)
+		xs = append(xs, enc.Transform(raw, nil))
+		ys = append(ys, y)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("neural: no labelled instances")
+	}
+
+	r := rng.New(cfg.Seed)
+	in := enc.Width()
+	m := &Model{enc: enc, hidden: cfg.Hidden}
+	m.w1 = make([][]float64, cfg.Hidden)
+	m.b1 = make([]float64, cfg.Hidden)
+	m.w2 = make([]float64, cfg.Hidden)
+	scale := 1 / math.Sqrt(float64(in))
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, in)
+		for j := range m.w1[h] {
+			m.w1[h][j] = r.Normal(0, scale)
+		}
+		m.w2[h] = r.Normal(0, 1/math.Sqrt(float64(cfg.Hidden)))
+	}
+
+	// Momentum buffers.
+	vw1 := make([][]float64, cfg.Hidden)
+	for h := range vw1 {
+		vw1[h] = make([]float64, in)
+	}
+	vb1 := make([]float64, cfg.Hidden)
+	vw2 := make([]float64, cfg.Hidden)
+	vb2 := 0.0
+
+	hid := make([]float64, cfg.Hidden)
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			// Accumulate gradients over the batch.
+			gw1 := make([][]float64, cfg.Hidden)
+			for h := range gw1 {
+				gw1[h] = make([]float64, in)
+			}
+			gb1 := make([]float64, cfg.Hidden)
+			gw2 := make([]float64, cfg.Hidden)
+			gb2 := 0.0
+			for _, i := range batch {
+				x := xs[i]
+				// Forward.
+				for h := 0; h < cfg.Hidden; h++ {
+					z := m.b1[h]
+					for j, xv := range x {
+						z += m.w1[h][j] * xv
+					}
+					hid[h] = math.Tanh(z)
+				}
+				out := m.b2
+				for h := 0; h < cfg.Hidden; h++ {
+					out += m.w2[h] * hid[h]
+				}
+				p := 1 / (1 + math.Exp(-out))
+				// Backward (cross-entropy): dL/dout = p - y.
+				dOut := p - ys[i]
+				gb2 += dOut
+				for h := 0; h < cfg.Hidden; h++ {
+					gw2[h] += dOut * hid[h]
+					dHid := dOut * m.w2[h] * (1 - hid[h]*hid[h])
+					gb1[h] += dHid
+					for j, xv := range x {
+						if xv != 0 {
+							gw1[h][j] += dHid * xv
+						}
+					}
+				}
+			}
+			// SGD with momentum and weight decay.
+			lr := cfg.LearnRate / float64(len(batch))
+			for h := 0; h < cfg.Hidden; h++ {
+				for j := 0; j < in; j++ {
+					vw1[h][j] = cfg.Momentum*vw1[h][j] - lr*(gw1[h][j]+cfg.L2*m.w1[h][j])
+					m.w1[h][j] += vw1[h][j]
+				}
+				vb1[h] = cfg.Momentum*vb1[h] - lr*gb1[h]
+				m.b1[h] += vb1[h]
+				vw2[h] = cfg.Momentum*vw2[h] - lr*(gw2[h]+cfg.L2*m.w2[h])
+				m.w2[h] += vw2[h]
+			}
+			vb2 = cfg.Momentum*vb2 - lr*gb2
+			m.b2 += vb2
+		}
+	}
+	return m, nil
+}
+
+// PredictProb returns P(positive | row) for a full-schema row.
+func (m *Model) PredictProb(row []float64) float64 {
+	x := m.enc.Transform(row, nil)
+	out := m.b2
+	for h := 0; h < m.hidden; h++ {
+		z := m.b1[h]
+		for j, xv := range x {
+			z += m.w1[h][j] * xv
+		}
+		out += m.w2[h] * math.Tanh(z)
+	}
+	return 1 / (1 + math.Exp(-out))
+}

@@ -1,0 +1,150 @@
+package neural
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+func xorDataset(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("xor").Interval("x1").Interval("x2").Binary("y")
+	for i := 0; i < n; i++ {
+		x1, x2 := r.Float64(), r.Float64()
+		y := 0.0
+		if (x1 > 0.5) != (x2 > 0.5) {
+			y = 1
+		}
+		b.Row(x1, x2, y)
+	}
+	return b.Build()
+}
+
+func accuracy(t *testing.T, m *Model, ds *data.Dataset, target int) float64 {
+	t.Helper()
+	correct := 0
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		if (m.PredictProb(row) >= 0.5) == (ds.At(i, target) == 1) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestLearnsXOR(t *testing.T) {
+	ds := xorDataset(3000, 1)
+	cfg := DefaultConfig()
+	cfg.Epochs = 80
+	m, err := Train(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, m, ds, 2); acc < 0.9 {
+		t.Fatalf("XOR accuracy = %v — the hidden layer is not learning", acc)
+	}
+}
+
+func TestGeneralizes(t *testing.T) {
+	train := xorDataset(3000, 2)
+	valid := xorDataset(500, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 80
+	m, err := Train(train, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, m, valid, 2); acc < 0.85 {
+		t.Fatalf("holdout accuracy = %v", acc)
+	}
+}
+
+func TestOutputsAreProbabilities(t *testing.T) {
+	ds := xorDataset(500, 4)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m, err := Train(ds, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 200; i++ {
+		p := m.PredictProb([]float64{r.Float64(), r.Float64(), 0})
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability = %v", p)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	ds := xorDataset(500, 6)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m1, err := Train(ds, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(ds, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{0.3, 0.7, 0}
+	if m1.PredictProb(row) != m2.PredictProb(row) {
+		t.Fatal("same-seed training disagrees")
+	}
+}
+
+func TestMissingTargetsSkippedAndMissingFeaturesImputed(t *testing.T) {
+	b := data.NewBuilder("m").Interval("x").Binary("y")
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		x := r.Normal(0, 1)
+		y := 0.0
+		if x > 0 {
+			y = 1
+		}
+		if i%13 == 0 {
+			y = data.Missing
+		}
+		if i%17 == 0 {
+			x = data.Missing
+		}
+		b.Row(x, y)
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	m, err := Train(ds, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.PredictProb([]float64{2, 0}); p < 0.7 {
+		t.Fatalf("P(pos|x=2) = %v", p)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := xorDataset(100, 8)
+	bad := []Config{
+		{Hidden: 0, Epochs: 1, LearnRate: 0.1, BatchSize: 8},
+		{Hidden: 4, Epochs: 0, LearnRate: 0.1, BatchSize: 8},
+		{Hidden: 4, Epochs: 1, LearnRate: 0, BatchSize: 8},
+		{Hidden: 4, Epochs: 1, LearnRate: 0.1, Momentum: 1, BatchSize: 8},
+		{Hidden: 4, Epochs: 1, LearnRate: 0.1, BatchSize: 0},
+		{Hidden: 4, Epochs: 1, LearnRate: 0.1, BatchSize: 8, L2: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(ds, 2, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := Train(ds, 99, DefaultConfig()); err == nil {
+		t.Error("bad target should error")
+	}
+	if _, err := Train(ds, 0, DefaultConfig()); err == nil {
+		t.Error("interval target should error")
+	}
+}

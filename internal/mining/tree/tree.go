@@ -1,0 +1,617 @@
+// Package tree implements the paper's predominant learners: decision trees
+// that pick splits with a chi-square test on the Boolean crash-proneness
+// target, and regression trees that use the F-test on the target configured
+// as interval (Tables 3 and 4). Both route missing values as first-class
+// data — the direction that maximizes the split statistic — matching the
+// study's decision to treat missing values as valid rather than impute
+// ("trees, which are not sensitive to missing values, were the predominant
+// algorithm").
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/stats"
+)
+
+// Criterion selects the classification split test.
+type Criterion int
+
+const (
+	// ChiSquare is the paper's split criterion: Pearson's chi-square test
+	// on the 2×2 branch-by-class table, gated by Config.Alpha.
+	ChiSquare Criterion = iota
+	// Gini is the CART-style impurity decrease, provided for the ablation
+	// bench. It carries no significance test, so only the structural
+	// stopping rules apply.
+	Gini
+)
+
+// Config controls tree growth. The zero value is unusable; call
+// DefaultConfig and adjust.
+type Config struct {
+	// MaxDepth bounds the tree depth (root = depth 0).
+	MaxDepth int
+	// MinLeaf is the minimum instance count of each branch of a split.
+	MinLeaf int
+	// Alpha is the significance level a split's p-value must beat.
+	Alpha float64
+	// MaxLeaves caps the leaf count, the paper's "suitable tree size"
+	// control; 0 means unlimited.
+	MaxLeaves int
+	// Features lists usable feature columns. nil means every column except
+	// the target.
+	Features []int
+	// Criterion selects the classification split test (default ChiSquare).
+	// Ignored by regression trees, which always use the F-test.
+	Criterion Criterion
+}
+
+// DefaultConfig mirrors the study's discovery-stage settings: deep enough
+// not to "significantly truncate the tree", with a chi-square gate.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 18, MinLeaf: 25, Alpha: 0.01, MaxLeaves: 200}
+}
+
+func (c Config) validate(ds *data.Dataset, target int) error {
+	if target < 0 || target >= ds.NumAttrs() {
+		return fmt.Errorf("tree: target column %d out of range", target)
+	}
+	if c.MaxDepth <= 0 {
+		return fmt.Errorf("tree: MaxDepth must be positive, got %d", c.MaxDepth)
+	}
+	if c.MinLeaf <= 0 {
+		return fmt.Errorf("tree: MinLeaf must be positive, got %d", c.MinLeaf)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("tree: Alpha %v outside (0,1]", c.Alpha)
+	}
+	for _, f := range c.Features {
+		if f < 0 || f >= ds.NumAttrs() {
+			return fmt.Errorf("tree: feature column %d out of range", f)
+		}
+		if f == target {
+			return fmt.Errorf("tree: target column %d listed as a feature", f)
+		}
+	}
+	return nil
+}
+
+func (c Config) features(ds *data.Dataset, target int) []int {
+	if c.Features != nil {
+		return c.Features
+	}
+	var fs []int
+	for j := 0; j < ds.NumAttrs(); j++ {
+		if j != target {
+			fs = append(fs, j)
+		}
+	}
+	return fs
+}
+
+type node struct {
+	// Split fields (internal nodes).
+	attr        int
+	nominal     bool
+	cut         float64 // interval: v <= cut goes left
+	leftLevels  uint64  // nominal: bitmask of level indices going left
+	missingLeft bool
+	left, right *node
+
+	// Leaf fields.
+	leaf  bool
+	value float64 // P(positive) or target mean
+	n     int
+	id    int // stable leaf identifier, assigned in creation order
+}
+
+// Tree is a fitted decision or regression tree.
+type Tree struct {
+	root       *node
+	ds         *data.Dataset // schema reference for rule rendering
+	target     int
+	regression bool
+	leaves     int
+	depth      int
+}
+
+// Leaves returns the leaf count (the "Leaves" column of Tables 3 and 4).
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Depth returns the maximum depth.
+func (t *Tree) Depth() int { return t.depth }
+
+// PredictProb returns the positive-class probability for a full-schema row.
+// For regression trees it returns the predicted mean clamped to [0,1]; use
+// Predict for the raw value.
+func (t *Tree) PredictProb(row []float64) float64 {
+	v := t.Predict(row)
+	if t.regression {
+		return math.Min(1, math.Max(0, v))
+	}
+	return v
+}
+
+// Predict returns the leaf value (probability or mean) for a row.
+func (t *Tree) Predict(row []float64) float64 {
+	return t.route(row).value
+}
+
+// LeafID returns a stable identifier (in [0, Leaves())) of the leaf the row
+// falls into, letting model trees attach per-leaf state.
+func (t *Tree) LeafID(row []float64) int {
+	return t.route(row).id
+}
+
+func (t *Tree) route(row []float64) *node {
+	n := t.root
+	for !n.leaf {
+		if goesLeft(n, row[n.attr]) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+func goesLeft(n *node, v float64) bool {
+	if data.IsMissing(v) {
+		return n.missingLeft
+	}
+	if n.nominal {
+		l := int(v)
+		if l < 0 || l > 63 {
+			return n.missingLeft
+		}
+		return n.leftLevels&(1<<uint(l)) != 0
+	}
+	return v <= n.cut
+}
+
+// builder carries the immutable growth context.
+type builder struct {
+	ds         *data.Dataset
+	target     int
+	cfg        Config
+	feats      []int
+	regression bool
+	leafBudget int // remaining leaves when MaxLeaves > 0, else -1
+}
+
+// Grow fits a classification tree (chi-square criterion) on the binary
+// target column.
+func Grow(ds *data.Dataset, target int, cfg Config) (*Tree, error) {
+	return grow(ds, target, cfg, false)
+}
+
+// GrowRegression fits a regression tree (F-test criterion) on an interval
+// target column. The paper runs these on the binary target "configured as
+// interval" to obtain R² ("interval models tended to be more accurate but
+// with less compact models").
+func GrowRegression(ds *data.Dataset, target int, cfg Config) (*Tree, error) {
+	return grow(ds, target, cfg, true)
+}
+
+func grow(ds *data.Dataset, target int, cfg Config, regression bool) (*Tree, error) {
+	if err := cfg.validate(ds, target); err != nil {
+		return nil, err
+	}
+	if !regression && ds.Attr(target).Kind != data.Binary {
+		return nil, fmt.Errorf("tree: classification target %q must be binary", ds.Attr(target).Name)
+	}
+	var idx []int
+	for i := 0; i < ds.Len(); i++ {
+		if !data.IsMissing(ds.At(i, target)) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) < 2*cfg.MinLeaf {
+		return nil, fmt.Errorf("tree: only %d labelled instances; need at least %d", len(idx), 2*cfg.MinLeaf)
+	}
+	b := &builder{ds: ds, target: target, cfg: cfg,
+		feats: cfg.features(ds, target), regression: regression, leafBudget: -1}
+	if cfg.MaxLeaves > 0 {
+		b.leafBudget = cfg.MaxLeaves
+	}
+	t := &Tree{ds: ds, target: target, regression: regression}
+	t.root = b.build(idx, 0, t)
+	return t, nil
+}
+
+func (b *builder) leafValue(idx []int) (float64, int) {
+	if b.regression {
+		sum := 0.0
+		for _, i := range idx {
+			sum += b.ds.At(i, b.target)
+		}
+		return sum / float64(len(idx)), len(idx)
+	}
+	pos := 0
+	for _, i := range idx {
+		if b.ds.At(i, b.target) == 1 {
+			pos++
+		}
+	}
+	// Laplace smoothing keeps extreme leaves off exactly 0/1.
+	return (float64(pos) + 1) / (float64(len(idx)) + 2), len(idx)
+}
+
+func (b *builder) build(idx []int, depth int, t *Tree) *node {
+	value, n := b.leafValue(idx)
+	mkLeaf := func() *node {
+		id := t.leaves
+		t.leaves++
+		if depth > t.depth {
+			t.depth = depth
+		}
+		return &node{leaf: true, value: value, n: n, id: id}
+	}
+	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf {
+		return mkLeaf()
+	}
+	if b.leafBudget == 0 || (b.leafBudget > 0 && b.leafBudget < 2) {
+		return mkLeaf()
+	}
+	if b.pure(idx) {
+		return mkLeaf()
+	}
+	best, ok := b.bestSplit(idx)
+	if !ok || best.pValue > b.cfg.Alpha {
+		return mkLeaf()
+	}
+	leftIdx, rightIdx := b.partition(idx, best)
+	if len(leftIdx) < b.cfg.MinLeaf || len(rightIdx) < b.cfg.MinLeaf {
+		return mkLeaf()
+	}
+	if b.leafBudget > 0 {
+		b.leafBudget-- // a split turns one pending leaf into two
+	}
+	nd := &node{
+		attr:        best.attr,
+		nominal:     best.nominal,
+		cut:         best.cut,
+		leftLevels:  best.leftLevels,
+		missingLeft: best.missingLeft,
+	}
+	nd.left = b.build(leftIdx, depth+1, t)
+	nd.right = b.build(rightIdx, depth+1, t)
+	return nd
+}
+
+func (b *builder) pure(idx []int) bool {
+	first := b.ds.At(idx[0], b.target)
+	for _, i := range idx[1:] {
+		if b.ds.At(i, b.target) != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *builder) partition(idx []int, s split) (left, right []int) {
+	probe := node{
+		attr: s.attr, nominal: s.nominal, cut: s.cut,
+		leftLevels: s.leftLevels, missingLeft: s.missingLeft,
+	}
+	for _, i := range idx {
+		if goesLeft(&probe, b.ds.At(i, s.attr)) {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// split describes a candidate split and its test statistic.
+type split struct {
+	attr        int
+	nominal     bool
+	cut         float64
+	leftLevels  uint64
+	missingLeft bool
+	statistic   float64
+	pValue      float64
+}
+
+func (b *builder) bestSplit(idx []int) (split, bool) {
+	var best split
+	best.pValue = math.Inf(1)
+	found := false
+	for _, attr := range b.feats {
+		var s split
+		var ok bool
+		if b.ds.Attr(attr).Kind == data.Nominal {
+			s, ok = b.bestNominalSplit(idx, attr)
+		} else {
+			s, ok = b.bestIntervalSplit(idx, attr)
+		}
+		if !ok {
+			continue
+		}
+		// Prefer lower p-value; break ties on the raw statistic.
+		if !found || s.pValue < best.pValue ||
+			(s.pValue == best.pValue && s.statistic > best.statistic) {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// group aggregates target statistics for a candidate branch.
+type group struct {
+	n     int
+	pos   int     // classification: positive count
+	sum   float64 // regression: target sum
+	sumSq float64 // regression: target sum of squares
+}
+
+func (g *group) add(y float64) {
+	g.n++
+	if y == 1 {
+		g.pos++
+	}
+	g.sum += y
+	g.sumSq += y * y
+}
+
+func (g *group) merge(o group) group {
+	return group{n: g.n + o.n, pos: g.pos + o.pos, sum: g.sum + o.sum, sumSq: g.sumSq + o.sumSq}
+}
+
+// score computes the split statistic and p-value for branches l and r.
+func (b *builder) score(l, r group) (stat, p float64, ok bool) {
+	if l.n == 0 || r.n == 0 {
+		return 0, 1, false
+	}
+	if b.regression {
+		n := float64(l.n + r.n)
+		grand := (l.sum + r.sum) / n
+		ml := l.sum / float64(l.n)
+		mr := r.sum / float64(r.n)
+		ssB := float64(l.n)*(ml-grand)*(ml-grand) + float64(r.n)*(mr-grand)*(mr-grand)
+		ssW := (l.sumSq - l.sum*ml) + (r.sumSq - r.sum*mr)
+		df2 := n - 2
+		if df2 <= 0 {
+			return 0, 1, false
+		}
+		if ssW <= 1e-12 {
+			if ssB <= 1e-12 {
+				return 0, 1, false
+			}
+			return math.Inf(1), 0, true
+		}
+		f := ssB / (ssW / df2)
+		return f, stats.FSF(f, 1, df2), true
+	}
+	a := float64(l.pos)
+	bb := float64(l.n - l.pos)
+	c := float64(r.pos)
+	d := float64(r.n - r.pos)
+	n := a + bb + c + d
+	rowL, rowR := a+bb, c+d
+	colP, colN := a+c, bb+d
+	if colP == 0 || colN == 0 {
+		return 0, 1, false
+	}
+	if b.cfg.Criterion == Gini {
+		gini := func(pos, tot float64) float64 {
+			p := pos / tot
+			return 2 * p * (1 - p)
+		}
+		parent := gini(colP, n)
+		gain := parent - (rowL/n)*gini(a, rowL) - (rowR/n)*gini(c, rowR)
+		if gain <= 0 {
+			return 0, 1, false
+		}
+		return gain, 0, true
+	}
+	num := a*d - bb*c
+	chi2 := n * num * num / (rowL * rowR * colP * colN)
+	return chi2, stats.ChiSquareSF(chi2, 1), true
+}
+
+// bestIntervalSplit scans every boundary between distinct sorted values,
+// trying the missing-value group on each side.
+func (b *builder) bestIntervalSplit(idx []int, attr int) (split, bool) {
+	type pair struct{ v, y float64 }
+	pairs := make([]pair, 0, len(idx))
+	var miss group
+	for _, i := range idx {
+		v := b.ds.At(i, attr)
+		y := b.ds.At(i, b.target)
+		if data.IsMissing(v) {
+			miss.add(y)
+			continue
+		}
+		pairs = append(pairs, pair{v, y})
+	}
+	if len(pairs) < 2 {
+		return split{}, false
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+
+	var total group
+	for _, p := range pairs {
+		total.add(p.y)
+	}
+	var best split
+	best.pValue = math.Inf(1)
+	found := false
+	var left group
+	for i := 0; i < len(pairs)-1; i++ {
+		left.add(pairs[i].y)
+		if pairs[i].v == pairs[i+1].v {
+			continue
+		}
+		right := group{
+			n: total.n - left.n, pos: total.pos - left.pos,
+			sum: total.sum - left.sum, sumSq: total.sumSq - left.sumSq,
+		}
+		cut := pairs[i].v + (pairs[i+1].v-pairs[i].v)/2
+		for _, missingLeft := range []bool{false, true} {
+			l, r := left, right
+			if miss.n > 0 {
+				if missingLeft {
+					l = l.merge(miss)
+				} else {
+					r = r.merge(miss)
+				}
+			} else if missingLeft {
+				continue // no missing group: both options identical
+			}
+			if l.n < b.cfg.MinLeaf || r.n < b.cfg.MinLeaf {
+				continue
+			}
+			stat, p, ok := b.score(l, r)
+			if !ok {
+				continue
+			}
+			if !found || p < best.pValue || (p == best.pValue && stat > best.statistic) {
+				best = split{attr: attr, cut: cut, missingLeft: missingLeft, statistic: stat, pValue: p}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// bestNominalSplit orders levels by target rate and scans prefix splits of
+// that ordering — the classic optimal-for-binary-targets reduction.
+func (b *builder) bestNominalSplit(idx []int, attr int) (split, bool) {
+	nLevels := len(b.ds.Attr(attr).Levels)
+	if nLevels < 2 || nLevels > 63 {
+		return split{}, false
+	}
+	groups := make([]group, nLevels)
+	var miss group
+	for _, i := range idx {
+		v := b.ds.At(i, attr)
+		y := b.ds.At(i, b.target)
+		if data.IsMissing(v) {
+			miss.add(y)
+			continue
+		}
+		groups[int(v)].add(y)
+	}
+	order := make([]int, nLevels)
+	for i := range order {
+		order[i] = i
+	}
+	rate := func(g group) float64 {
+		if g.n == 0 {
+			return 0
+		}
+		if b.regression {
+			return g.sum / float64(g.n)
+		}
+		return float64(g.pos) / float64(g.n)
+	}
+	sort.Slice(order, func(a, c int) bool { return rate(groups[order[a]]) < rate(groups[order[c]]) })
+
+	var best split
+	best.pValue = math.Inf(1)
+	found := false
+	var left group
+	var mask uint64
+	for k := 0; k < nLevels-1; k++ {
+		left = left.merge(groups[order[k]])
+		mask |= 1 << uint(order[k])
+		var right group
+		for _, l := range order[k+1:] {
+			right = right.merge(groups[l])
+		}
+		for _, missingLeft := range []bool{false, true} {
+			l, r := left, right
+			if miss.n > 0 {
+				if missingLeft {
+					l = l.merge(miss)
+				} else {
+					r = r.merge(miss)
+				}
+			} else if missingLeft {
+				continue
+			}
+			if l.n < b.cfg.MinLeaf || r.n < b.cfg.MinLeaf {
+				continue
+			}
+			stat, p, ok := b.score(l, r)
+			if !ok {
+				continue
+			}
+			if !found || p < best.pValue || (p == best.pValue && stat > best.statistic) {
+				best = split{attr: attr, nominal: true, leftLevels: mask, missingLeft: missingLeft, statistic: stat, pValue: p}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Rule is one root-to-leaf path, the unit of domain knowledge the paper
+// extracts from its trees ("the potential to extract domain knowledge from
+// the rules").
+type Rule struct {
+	Conditions []string
+	Value      float64 // leaf probability or mean
+	N          int     // training instances in the leaf
+}
+
+// Rules lists every leaf as a conjunctive rule.
+func (t *Tree) Rules() []Rule {
+	var out []Rule
+	var walk func(n *node, conds []string)
+	walk = func(n *node, conds []string) {
+		if n.leaf {
+			out = append(out, Rule{Conditions: append([]string(nil), conds...), Value: n.value, N: n.n})
+			return
+		}
+		attr := t.ds.Attr(n.attr)
+		var lc, rc string
+		if n.nominal {
+			var ls, rs []string
+			for l, name := range attr.Levels {
+				if n.leftLevels&(1<<uint(l)) != 0 {
+					ls = append(ls, name)
+				} else {
+					rs = append(rs, name)
+				}
+			}
+			lc = fmt.Sprintf("%s in {%s}", attr.Name, strings.Join(ls, ","))
+			rc = fmt.Sprintf("%s in {%s}", attr.Name, strings.Join(rs, ","))
+		} else {
+			lc = fmt.Sprintf("%s <= %.4g", attr.Name, n.cut)
+			rc = fmt.Sprintf("%s > %.4g", attr.Name, n.cut)
+		}
+		if n.missingLeft {
+			lc += " (or missing)"
+		} else {
+			rc += " (or missing)"
+		}
+		walk(n.left, append(conds, lc))
+		walk(n.right, append(conds, rc))
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// String renders the rule set.
+func (t *Tree) String() string {
+	var b strings.Builder
+	kind := "decision"
+	if t.regression {
+		kind = "regression"
+	}
+	fmt.Fprintf(&b, "%s tree: %d leaves, depth %d\n", kind, t.leaves, t.depth)
+	for _, r := range t.Rules() {
+		fmt.Fprintf(&b, "  IF %s THEN value=%.4f (n=%d)\n", strings.Join(r.Conditions, " AND "), r.Value, r.N)
+	}
+	return b.String()
+}

@@ -1,0 +1,422 @@
+package tree
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// xorDataset needs two levels of splits: y = (x1 > 0.5) XOR (x2 > 0.5).
+func xorDataset(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("xor").Interval("x1").Interval("x2").Binary("y")
+	for i := 0; i < n; i++ {
+		x1, x2 := r.Float64(), r.Float64()
+		y := 0.0
+		if (x1 > 0.5) != (x2 > 0.5) {
+			y = 1
+		}
+		b.Row(x1, x2, y)
+	}
+	return b.Build()
+}
+
+// linearDataset has a single clean threshold.
+func linearDataset(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("lin").Interval("x").Interval("noise").Binary("y")
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		y := 0.0
+		if x > 0.6 {
+			y = 1
+		}
+		b.Row(x, r.Float64(), y)
+	}
+	return b.Build()
+}
+
+func accuracy(t *testing.T, tr *Tree, ds *data.Dataset, target int) float64 {
+	t.Helper()
+	correct := 0
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		pred := tr.PredictProb(row) >= 0.5
+		if pred == (ds.At(i, target) == 1) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestGrowLearnsThreshold(t *testing.T) {
+	ds := linearDataset(2000, 1)
+	target := ds.MustAttrIndex("y")
+	cfg := DefaultConfig()
+	tr, err := Grow(ds, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, tr, ds, target); acc < 0.98 {
+		t.Fatalf("training accuracy = %v", acc)
+	}
+	if tr.Leaves() < 2 {
+		t.Fatalf("leaves = %d", tr.Leaves())
+	}
+}
+
+func TestGrowLearnsXOR(t *testing.T) {
+	ds := xorDataset(4000, 2)
+	target := ds.MustAttrIndex("y")
+	tr, err := Grow(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, tr, ds, target); acc < 0.95 {
+		t.Fatalf("XOR accuracy = %v; chi-square tree should solve XOR via two levels", acc)
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("depth = %d, XOR needs at least 2", tr.Depth())
+	}
+}
+
+func TestGeneralizationHoldout(t *testing.T) {
+	train := linearDataset(2000, 3)
+	valid := linearDataset(500, 4)
+	target := train.MustAttrIndex("y")
+	tr, err := Grow(train, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, tr, valid, target); acc < 0.97 {
+		t.Fatalf("holdout accuracy = %v", acc)
+	}
+}
+
+func TestNominalSplit(t *testing.T) {
+	r := rng.New(5)
+	b := data.NewBuilder("nom").Nominal("color", "red", "green", "blue", "grey").Binary("y")
+	for i := 0; i < 2000; i++ {
+		c := r.Intn(4)
+		y := 0.0
+		if c == 1 || c == 3 { // green and grey are positive
+			y = 1
+		}
+		b.Row(float64(c), y)
+	}
+	ds := b.Build()
+	target := ds.MustAttrIndex("y")
+	tr, err := Grow(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, tr, ds, target); acc < 0.99 {
+		t.Fatalf("nominal accuracy = %v", acc)
+	}
+	// The tree should need exactly one split: {green,grey} vs {red,blue}.
+	if tr.Leaves() != 2 {
+		t.Fatalf("leaves = %d, want 2 (subset split)", tr.Leaves())
+	}
+}
+
+func TestMissingValueRouting(t *testing.T) {
+	// Missing x is strongly associated with the positive class; the tree
+	// must route missing values to the positive branch.
+	r := rng.New(6)
+	b := data.NewBuilder("miss").Interval("x").Binary("y")
+	for i := 0; i < 3000; i++ {
+		if r.Bool(0.3) {
+			b.Row(data.Missing, 1) // missing → positive
+		} else {
+			x := r.Float64()
+			y := 0.0
+			if x > 0.8 {
+				y = 1
+			}
+			b.Row(x, y)
+		}
+	}
+	ds := b.Build()
+	target := ds.MustAttrIndex("y")
+	tr, err := Grow(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.PredictProb([]float64{data.Missing, data.Missing}); p < 0.5 {
+		t.Fatalf("P(pos | missing x) = %v, want > 0.5", p)
+	}
+	if acc := accuracy(t, tr, ds, target); acc < 0.95 {
+		t.Fatalf("accuracy with missing = %v", acc)
+	}
+}
+
+func TestMaxLeavesBudget(t *testing.T) {
+	ds := xorDataset(4000, 7)
+	target := ds.MustAttrIndex("y")
+	for _, maxLeaves := range []int{1, 2, 3, 5, 10} {
+		cfg := DefaultConfig()
+		cfg.MaxLeaves = maxLeaves
+		tr, err := Grow(ds, target, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Leaves() > maxLeaves {
+			t.Fatalf("MaxLeaves=%d produced %d leaves", maxLeaves, tr.Leaves())
+		}
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	ds := xorDataset(4000, 8)
+	target := ds.MustAttrIndex("y")
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 1
+	tr, err := Grow(ds, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Fatalf("depth = %d with MaxDepth=1", tr.Depth())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	ds := linearDataset(500, 9)
+	target := ds.MustAttrIndex("y")
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 100
+	tr, err := Grow(ds, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range tr.Rules() {
+		if rule.N < 100 {
+			t.Fatalf("leaf with %d < MinLeaf instances", rule.N)
+		}
+	}
+}
+
+func TestAlphaGateStopsNoise(t *testing.T) {
+	// Pure noise: with a strict alpha the tree should stay a stump.
+	r := rng.New(10)
+	b := data.NewBuilder("noise").Interval("x").Binary("y")
+	for i := 0; i < 1000; i++ {
+		y := 0.0
+		if r.Bool(0.5) {
+			y = 1
+		}
+		b.Row(r.Float64(), y)
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.Alpha = 1e-6
+	tr, err := Grow(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() > 2 {
+		t.Fatalf("noise tree grew %d leaves", tr.Leaves())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := linearDataset(100, 11)
+	target := ds.MustAttrIndex("y")
+	bad := []Config{
+		{MaxDepth: 0, MinLeaf: 1, Alpha: 0.05},
+		{MaxDepth: 5, MinLeaf: 0, Alpha: 0.05},
+		{MaxDepth: 5, MinLeaf: 1, Alpha: 0},
+		{MaxDepth: 5, MinLeaf: 1, Alpha: 1.5},
+		{MaxDepth: 5, MinLeaf: 1, Alpha: 0.05, Features: []int{99}},
+		{MaxDepth: 5, MinLeaf: 1, Alpha: 0.05, Features: []int{target}},
+	}
+	for i, cfg := range bad {
+		if _, err := Grow(ds, target, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := Grow(ds, 99, DefaultConfig()); err == nil {
+		t.Error("out-of-range target should error")
+	}
+	if _, err := Grow(ds, ds.MustAttrIndex("x"), DefaultConfig()); err == nil {
+		t.Error("non-binary classification target should error")
+	}
+}
+
+func TestTooFewInstances(t *testing.T) {
+	ds := linearDataset(10, 12)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 25
+	if _, err := Grow(ds, ds.MustAttrIndex("y"), cfg); err == nil {
+		t.Error("tiny dataset should error")
+	}
+}
+
+func TestMissingTargetSkipped(t *testing.T) {
+	b := data.NewBuilder("mt").Interval("x").Binary("y")
+	r := rng.New(13)
+	for i := 0; i < 500; i++ {
+		x := r.Float64()
+		y := 0.0
+		if x > 0.5 {
+			y = 1
+		}
+		if i%10 == 0 {
+			y = data.Missing
+		}
+		b.Row(x, y)
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 10
+	tr, err := Grow(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.PredictProb([]float64{0.9, 0}); p < 0.8 {
+		t.Fatalf("P(pos|x=0.9) = %v", p)
+	}
+}
+
+func TestFeatureRestriction(t *testing.T) {
+	ds := linearDataset(1000, 14)
+	target := ds.MustAttrIndex("y")
+	cfg := DefaultConfig()
+	cfg.Features = []int{ds.MustAttrIndex("noise")} // deny the signal column
+	tr, err := Grow(ds, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, tr, ds, target); acc > 0.75 {
+		t.Fatalf("noise-only tree accuracy = %v, should be poor", acc)
+	}
+}
+
+func TestRegressionTree(t *testing.T) {
+	r := rng.New(15)
+	b := data.NewBuilder("reg").Interval("x").Interval("y")
+	for i := 0; i < 3000; i++ {
+		x := r.Float64()
+		y := 1.0
+		if x > 0.33 {
+			y = 5
+		}
+		if x > 0.66 {
+			y = 9
+		}
+		b.Row(x, y+r.Normal(0, 0.1))
+	}
+	ds := b.Build()
+	target := ds.MustAttrIndex("y")
+	tr, err := GrowRegression(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ x, want float64 }{{0.1, 1}, {0.5, 5}, {0.9, 9}} {
+		if got := tr.Predict([]float64{tc.x, 0}); math.Abs(got-tc.want) > 0.3 {
+			t.Errorf("predict(%v) = %v, want ~%v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestRegressionPredictProbClamped(t *testing.T) {
+	r := rng.New(16)
+	b := data.NewBuilder("clamp").Interval("x").Interval("y")
+	for i := 0; i < 200; i++ {
+		b.Row(r.Float64(), 5+r.Float64())
+	}
+	ds := b.Build()
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 10
+	tr, err := GrowRegression(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.PredictProb([]float64{0.5, 0}); p != 1 {
+		t.Fatalf("clamped probability = %v, want 1", p)
+	}
+}
+
+func TestRulesCoverAllLeaves(t *testing.T) {
+	ds := xorDataset(3000, 17)
+	target := ds.MustAttrIndex("y")
+	tr, err := Grow(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tr.Rules()
+	if len(rules) != tr.Leaves() {
+		t.Fatalf("rules = %d, leaves = %d", len(rules), tr.Leaves())
+	}
+	total := 0
+	for _, r := range rules {
+		total += r.N
+	}
+	if total != ds.Len() {
+		t.Fatalf("rule coverage %d != %d instances", total, ds.Len())
+	}
+	if !strings.Contains(tr.String(), "IF") {
+		t.Fatal("String() should render rules")
+	}
+}
+
+func TestPredictionDeterministic(t *testing.T) {
+	ds := xorDataset(1000, 18)
+	target := ds.MustAttrIndex("y")
+	tr1, err := Grow(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Grow(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		if tr1.PredictProb(row) != tr2.PredictProb(row) {
+			t.Fatal("identical training runs disagree")
+		}
+	}
+}
+
+func TestGiniCriterion(t *testing.T) {
+	ds := xorDataset(4000, 21)
+	target := ds.MustAttrIndex("y")
+	cfg := DefaultConfig()
+	cfg.Criterion = Gini
+	tr, err := Grow(ds, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, tr, ds, target); acc < 0.95 {
+		t.Fatalf("Gini XOR accuracy = %v", acc)
+	}
+	// Gini and chi-square agree on a clean threshold problem.
+	lin := linearDataset(2000, 22)
+	tg, err := Grow(lin, lin.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, tg, lin, lin.MustAttrIndex("y")); acc < 0.98 {
+		t.Fatalf("Gini threshold accuracy = %v", acc)
+	}
+}
+
+func TestLaplaceSmoothingAvoidsExtremes(t *testing.T) {
+	ds := linearDataset(2000, 19)
+	target := ds.MustAttrIndex("y")
+	tr, err := Grow(ds, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Rules() {
+		if r.Value <= 0 || r.Value >= 1 {
+			t.Fatalf("leaf probability %v not smoothed", r.Value)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package zinb implements the paper's statistical foundation as a baseline:
+// Shankar, Milton & Mannering's zero-altered counting process, fitted as a
+// hurdle regression — a logistic model for P(any crash) and a
+// zero-truncated Poisson regression for the positive counts, both over the
+// encoded road attributes. Where the data-mining models classify a derived
+// binary target, this baseline models the count process itself and derives
+// any threshold classification from P(count > t | attributes).
+package zinb
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/linalg"
+	"roadcrash/internal/mining/encode"
+	"roadcrash/internal/stats"
+)
+
+// Config controls hurdle-model training.
+type Config struct {
+	MaxIter int     // Newton iterations per component
+	Tol     float64 // convergence threshold on the max coefficient change
+	Ridge   float64 // L2 stabilizer
+	Exclude []string
+}
+
+// DefaultConfig returns standard Newton settings.
+func DefaultConfig() Config { return Config{MaxIter: 60, Tol: 1e-8, Ridge: 1e-6} }
+
+// Model is a fitted zero-altered Poisson regression.
+type Model struct {
+	enc     *encode.Encoder
+	hurdleW []float64 // logistic coefficients for P(count > 0)
+	countW  []float64 // log-linear coefficients of the truncated Poisson
+}
+
+// Train fits the hurdle model on an interval count column (zeros included —
+// the hurdle needs them).
+func Train(ds *data.Dataset, countCol int, cfg Config) (*Model, error) {
+	if countCol < 0 || countCol >= ds.NumAttrs() {
+		return nil, fmt.Errorf("zinb: count column %d out of range", countCol)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 60
+	}
+	if cfg.Ridge <= 0 {
+		cfg.Ridge = 1e-6
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-8
+	}
+	exclude := append([]string{ds.Attr(countCol).Name}, cfg.Exclude...)
+	enc, err := encode.Fit(ds, encode.Options{Bias: true, Exclude: exclude})
+	if err != nil {
+		return nil, fmt.Errorf("zinb: %w", err)
+	}
+	var xs [][]float64
+	var counts []float64
+	raw := make([]float64, ds.NumAttrs())
+	zeros, positives := 0, 0
+	for i := 0; i < ds.Len(); i++ {
+		y := ds.At(i, countCol)
+		if data.IsMissing(y) || y < 0 {
+			continue
+		}
+		raw = ds.Row(i, raw)
+		xs = append(xs, enc.Transform(raw, nil))
+		counts = append(counts, y)
+		if y == 0 {
+			zeros++
+		} else {
+			positives++
+		}
+	}
+	if zeros == 0 || positives == 0 {
+		return nil, fmt.Errorf("zinb: hurdle model needs both zero and positive counts (%d/%d)", zeros, positives)
+	}
+	m := &Model{enc: enc}
+	if m.hurdleW, err = fitLogistic(xs, counts, cfg); err != nil {
+		return nil, fmt.Errorf("zinb: hurdle component: %w", err)
+	}
+	if m.countW, err = fitTruncatedPoisson(xs, counts, cfg); err != nil {
+		return nil, fmt.Errorf("zinb: count component: %w", err)
+	}
+	return m, nil
+}
+
+// fitLogistic runs IRLS on the binary event count > 0.
+func fitLogistic(xs [][]float64, counts []float64, cfg Config) ([]float64, error) {
+	p := len(xs[0])
+	w := make([]float64, p)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		h := newSym(p)
+		g := make([]float64, p)
+		for r, x := range xs {
+			eta := linalg.Dot(w, x)
+			mu := 1 / (1 + math.Exp(-eta))
+			y := 0.0
+			if counts[r] > 0 {
+				y = 1
+			}
+			s := mu * (1 - mu)
+			if s < 1e-10 {
+				s = 1e-10
+			}
+			accumulate(h, g, x, s, y-mu)
+		}
+		delta, err := newtonStep(w, h, g, cfg.Ridge)
+		if err != nil {
+			return nil, err
+		}
+		if delta < cfg.Tol {
+			break
+		}
+	}
+	return w, nil
+}
+
+// fitTruncatedPoisson maximizes the zero-truncated Poisson likelihood over
+// the positive counts by Newton-Raphson.
+func fitTruncatedPoisson(xs [][]float64, counts []float64, cfg Config) ([]float64, error) {
+	p := len(xs[0])
+	w := make([]float64, p)
+	// Initialize the intercept near log(mean positive count).
+	var sum, n float64
+	for _, c := range counts {
+		if c > 0 {
+			sum += c
+			n++
+		}
+	}
+	if n > 0 && sum > 0 {
+		w[0] = math.Log(sum / n)
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		h := newSym(p)
+		g := make([]float64, p)
+		for r, x := range xs {
+			y := counts[r]
+			if y <= 0 {
+				continue
+			}
+			eta := linalg.Dot(w, x)
+			if eta > 8 {
+				eta = 8 // cap λ at ~3000 to keep the Newton step finite
+			}
+			lambda := math.Exp(eta)
+			pPos := -math.Expm1(-lambda) // 1 - e^{-λ}, accurate for small λ
+			if pPos < 1e-12 {
+				pPos = 1e-12
+			}
+			mu := lambda / pPos // E[y | y > 0]
+			// dμ/dη = λ dμ/dλ; dμ/dλ = (pPos - λ e^{-λ}) / pPos².
+			dmu := lambda * (pPos - lambda*math.Exp(-lambda)) / (pPos * pPos)
+			if dmu < 1e-10 {
+				dmu = 1e-10
+			}
+			accumulate(h, g, x, dmu, y-mu)
+		}
+		delta, err := newtonStep(w, h, g, cfg.Ridge)
+		if err != nil {
+			return nil, err
+		}
+		if delta < cfg.Tol {
+			break
+		}
+	}
+	return w, nil
+}
+
+// newSym allocates a p×p matrix.
+func newSym(p int) [][]float64 {
+	h := make([][]float64, p)
+	for i := range h {
+		h[i] = make([]float64, p)
+	}
+	return h
+}
+
+// accumulate adds the weighted outer product x xᵀ·s to h and x·resid to g,
+// using the upper triangle.
+func accumulate(h [][]float64, g []float64, x []float64, s, resid float64) {
+	for i := range x {
+		if x[i] == 0 {
+			continue
+		}
+		sxi := s * x[i]
+		row := h[i]
+		for j := i; j < len(x); j++ {
+			row[j] += sxi * x[j]
+		}
+		g[i] += x[i] * resid
+	}
+}
+
+// newtonStep solves (H + ridge·I) d = g, applies w += d and returns the max
+// coefficient change.
+func newtonStep(w []float64, h [][]float64, g []float64, ridge float64) (float64, error) {
+	p := len(w)
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			h[i][j] = h[j][i]
+		}
+		h[i][i] += ridge
+	}
+	d, err := linalg.Solve(h, g)
+	if err != nil {
+		return 0, err
+	}
+	delta := 0.0
+	for i := range w {
+		// Dampen huge steps for stability on near-separable hurdles.
+		if d[i] > 5 {
+			d[i] = 5
+		}
+		if d[i] < -5 {
+			d[i] = -5
+		}
+		w[i] += d[i]
+		delta = math.Max(delta, math.Abs(d[i]))
+	}
+	return delta, nil
+}
+
+// ProbPositive returns P(count > 0 | row): the hurdle.
+func (m *Model) ProbPositive(row []float64) float64 {
+	x := m.enc.Transform(row, nil)
+	return 1 / (1 + math.Exp(-linalg.Dot(m.hurdleW, x)))
+}
+
+// Lambda returns the truncated-Poisson rate λ(row).
+func (m *Model) Lambda(row []float64) float64 {
+	x := m.enc.Transform(row, nil)
+	eta := linalg.Dot(m.countW, x)
+	if eta > 8 {
+		eta = 8
+	}
+	return math.Exp(eta)
+}
+
+// ExpectedCount returns E[count | row] = P(>0) · λ / (1 - e^{-λ}).
+func (m *Model) ExpectedCount(row []float64) float64 {
+	lambda := m.Lambda(row)
+	pPos := -math.Expm1(-lambda)
+	if pPos < 1e-12 {
+		return 0
+	}
+	return m.ProbPositive(row) * lambda / pPos
+}
+
+// Predict implements the eval.Regressor shape for count prediction.
+func (m *Model) Predict(row []float64) float64 { return m.ExpectedCount(row) }
+
+// ProbGreater returns P(count > t | row) for t >= 0, combining the hurdle
+// with the truncated Poisson tail: P(y > t) = P(y>0) · P(Pois(λ) > t) /
+// (1 - e^{-λ}).
+func (m *Model) ProbGreater(row []float64, t int) float64 {
+	pPosModel := m.ProbPositive(row)
+	if t < 0 {
+		return 1
+	}
+	lambda := m.Lambda(row)
+	pPos := -math.Expm1(-lambda)
+	if pPos < 1e-12 {
+		if t == 0 {
+			return pPosModel
+		}
+		return 0
+	}
+	// P(Pois(λ) > t) = P(t+1, λ) via the regularized incomplete gamma.
+	tail := stats.GammaP(float64(t+1), lambda)
+	p := pPosModel * tail / pPos
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Thresholded adapts the count model into a binary classifier for the
+// crash-proneness target count > t.
+func (m *Model) Thresholded(t int) ThresholdClassifier {
+	return ThresholdClassifier{m: m, t: t}
+}
+
+// ThresholdClassifier scores P(count > t | row).
+type ThresholdClassifier struct {
+	m *Model
+	t int
+}
+
+// PredictProb implements the eval.Classifier contract.
+func (c ThresholdClassifier) PredictProb(row []float64) float64 {
+	return c.m.ProbGreater(row, c.t)
+}

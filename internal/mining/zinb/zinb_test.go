@@ -1,0 +1,168 @@
+package zinb
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// hurdleWorld synthesizes data from a known hurdle process:
+// P(y>0) = sigmoid(2x - 0.5), y|y>0 ~ ZTPoisson(exp(0.5 + 1.2x)).
+func hurdleWorld(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("hw").Interval("x").Interval("count")
+	for i := 0; i < n; i++ {
+		x := r.Normal(0, 1)
+		y := 0
+		if r.Bool(1 / (1 + math.Exp(-(2*x - 0.5)))) {
+			lambda := math.Exp(0.5 + 1.2*x)
+			y = r.ZeroAltered(0, func() int { return r.Poisson(lambda) })
+		}
+		b.Row(x, float64(y))
+	}
+	return b.Build()
+}
+
+func TestRecoverHurdleProcess(t *testing.T) {
+	ds := hurdleWorld(8000, 1)
+	m, err := Train(ds, ds.MustAttrIndex("count"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x is ~standard normal so encoded coefficients are comparable to the
+	// generating ones.
+	if math.Abs(m.hurdleW[1]-2) > 0.3 {
+		t.Errorf("hurdle slope = %v, want ~2", m.hurdleW[1])
+	}
+	if math.Abs(m.countW[1]-1.2) > 0.2 {
+		t.Errorf("count slope = %v, want ~1.2", m.countW[1])
+	}
+	if math.Abs(m.countW[0]-0.5) > 0.2 {
+		t.Errorf("count intercept = %v, want ~0.5", m.countW[0])
+	}
+}
+
+func TestExpectedCountMatchesEmpirical(t *testing.T) {
+	ds := hurdleWorld(8000, 2)
+	countCol := ds.MustAttrIndex("count")
+	m, err := Train(ds, countCol, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket instances by x and compare mean predicted vs observed counts.
+	var lowPred, lowObs, highPred, highObs, nLow, nHigh float64
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		pred := m.ExpectedCount(row)
+		obs := ds.At(i, countCol)
+		if row[0] < 0 {
+			lowPred += pred
+			lowObs += obs
+			nLow++
+		} else {
+			highPred += pred
+			highObs += obs
+			nHigh++
+		}
+	}
+	if math.Abs(lowPred/nLow-lowObs/nLow) > 0.1 {
+		t.Errorf("low bucket: predicted %.3f vs observed %.3f", lowPred/nLow, lowObs/nLow)
+	}
+	if relErr := math.Abs(highPred/nHigh-highObs/nHigh) / (highObs / nHigh); relErr > 0.1 {
+		t.Errorf("high bucket: predicted %.3f vs observed %.3f", highPred/nHigh, highObs/nHigh)
+	}
+}
+
+func TestProbGreaterConsistency(t *testing.T) {
+	ds := hurdleWorld(4000, 3)
+	m, err := Train(ds, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{1.0, 0}
+	// Monotone decreasing in t, within [0,1], and P(>0) equals the hurdle.
+	prev := 1.1
+	for tt := 0; tt <= 30; tt++ {
+		p := m.ProbGreater(row, tt)
+		if p < 0 || p > 1 {
+			t.Fatalf("P(>%d) = %v", tt, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("P(>t) not monotone at %d: %v > %v", tt, p, prev)
+		}
+		prev = p
+	}
+	if got, want := m.ProbGreater(row, 0), m.ProbPositive(row); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P(>0) = %v should equal the hurdle %v", got, want)
+	}
+	if m.ProbGreater(row, -1) != 1 {
+		t.Fatal("P(>-1) should be 1")
+	}
+}
+
+func TestThresholdedClassifier(t *testing.T) {
+	ds := hurdleWorld(6000, 4)
+	countCol := ds.MustAttrIndex("count")
+	m, err := Train(ds, countCol, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := m.Thresholded(2)
+	correct, n := 0, 0
+	row := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.Len(); i++ {
+		row = ds.Row(i, row)
+		pred := clf.PredictProb(row) >= 0.5
+		actual := ds.At(i, countCol) > 2
+		if pred == actual {
+			correct++
+		}
+		n++
+	}
+	if acc := float64(correct) / float64(n); acc < 0.8 {
+		t.Fatalf("thresholded accuracy = %v", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	ds := hurdleWorld(100, 5)
+	if _, err := Train(ds, 99, DefaultConfig()); err == nil {
+		t.Error("bad column should error")
+	}
+	// All-zero counts: no positive component to fit.
+	b := data.NewBuilder("z").Interval("x").Interval("count")
+	for i := 0; i < 50; i++ {
+		b.Row(float64(i), 0)
+	}
+	if _, err := Train(b.Build(), 1, DefaultConfig()); err == nil {
+		t.Error("all-zero counts should error")
+	}
+	// All-positive counts: no hurdle to fit.
+	b2 := data.NewBuilder("p").Interval("x").Interval("count")
+	for i := 0; i < 50; i++ {
+		b2.Row(float64(i), 1)
+	}
+	if _, err := Train(b2.Build(), 1, DefaultConfig()); err == nil {
+		t.Error("all-positive counts should error")
+	}
+}
+
+func TestMissingCountsSkipped(t *testing.T) {
+	r := rng.New(6)
+	b := data.NewBuilder("m").Interval("x").Interval("count")
+	for i := 0; i < 2000; i++ {
+		x := r.Normal(0, 1)
+		y := float64(r.Poisson(math.Exp(0.3 * x)))
+		if i%9 == 0 {
+			y = data.Missing
+		}
+		b.Row(x, y)
+	}
+	ds := b.Build()
+	if _, err := Train(ds, 1, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("My Table", "name", "value", "pct")
+	tab.AddRow("alpha", 3.14159, "10%")
+	tab.AddRow("beta-very-long-name", 42.0, "5%")
+	out := tab.String()
+	if !strings.Contains(out, "My Table") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "3.1416") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "42") || strings.Contains(out, "42.0000") {
+		t.Errorf("integral float should render without decimals: %s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the separator width.
+	if len(lines[1]) > len(lines[2])+2 {
+		t.Error("header wider than separator")
+	}
+}
+
+func TestTableNaN(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(math.NaN())
+	if !strings.Contains(tab.String(), "-") {
+		t.Error("NaN should render as -")
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	s := Series{Name: "one", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}, Marker: 'o'}
+	out := LineChart("squares", 40, 10, s)
+	if !strings.Contains(out, "squares") || !strings.Contains(out, "o = one") {
+		t.Fatalf("chart incomplete:\n%s", out)
+	}
+	if strings.Count(out, "o") < 4 {
+		t.Errorf("expected at least 4 markers:\n%s", out)
+	}
+}
+
+func TestLineChartMultiSeriesAndDefaults(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}, Marker: 'b'}
+	out := LineChart("two", 30, 8, a, b)
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "b = b") {
+		t.Fatalf("legend incomplete:\n%s", out)
+	}
+}
+
+func TestLineChartEmptyAndDegenerate(t *testing.T) {
+	if out := LineChart("none", 30, 8); !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+	nan := Series{Name: "n", X: []float64{math.NaN()}, Y: []float64{1}}
+	if out := LineChart("nan", 30, 8, nan); !strings.Contains(out, "no data") {
+		t.Error("all-NaN chart should say so")
+	}
+	// Single point: degenerate ranges must not panic or divide by zero.
+	pt := Series{Name: "p", X: []float64{5}, Y: []float64{7}}
+	out := LineChart("point", 30, 8, pt)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestLineChartClampsTinyDimensions(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}
+	out := LineChart("tiny", 1, 1, s)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestBoxChart(t *testing.T) {
+	boxes := []Box{
+		{Label: "low", Min: 1, Q1: 1, Median: 2, Q3: 3, Max: 5, N: 100},
+		{Label: "high", Min: 10, Q1: 20, Median: 30, Q3: 40, Max: 60, N: 40},
+	}
+	out := BoxChart("ranges", 50, 0, 60, boxes)
+	for _, want := range []string{"low", "high", "n=100", "#", "="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("box chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxChartDegenerateRange(t *testing.T) {
+	out := BoxChart("flat", 10, 5, 5, []Box{{Label: "x", Min: 5, Q1: 5, Median: 5, Q3: 5, Max: 5, N: 1}})
+	if !strings.Contains(out, "x") {
+		t.Fatal("degenerate range not handled")
+	}
+}
+
+func TestBoxChartClampsOutOfRange(t *testing.T) {
+	out := BoxChart("clamp", 20, 0, 10, []Box{{Label: "y", Min: -5, Q1: 0, Median: 5, Q3: 10, Max: 99, N: 2}})
+	if !strings.Contains(out, "y") {
+		t.Fatal("out-of-range values should clamp, not panic")
+	}
+}

@@ -1,0 +1,55 @@
+package roadnet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPrintCalibration prints the Table 1 marginals of the default
+// configuration when run with -v. It never fails; the hard assertions live
+// in dataset_test.go.
+func TestPrintCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration print skipped in -short")
+	}
+	net, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, tot, surveyed := net.Totals()
+	t.Logf("crash segments=%d total crashes=%d surveyed crashes=%d", cs, tot, surveyed)
+	var sumR, sumR2 float64
+	for i := range net.Segments {
+		r := net.Segments[i].Risk
+		sumR += r
+		sumR2 += r * r
+	}
+	n := float64(len(net.Segments))
+	mean := sumR / n
+	t.Logf("risk mean=%.3f sd=%.3f crashFrac=%.3f", mean,
+		(sumR2/n - mean*mean), float64(cs)/n)
+	st, err := ExtractStudy(net, DefaultStudyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("crash instances=%d no-crash instances=%d", st.Crash.Len(), st.NoCrash.Len())
+	counts, _ := st.Crash.ColByName(CrashCountAttr)
+	paper := map[int]int{2: 3548, 4: 5904, 8: 8677, 16: 12348, 32: 15471, 64: 16576}
+	for _, th := range []int{2, 4, 8, 16, 32, 64} {
+		le := 0
+		for _, c := range counts {
+			if int(c) <= th {
+				le++
+			}
+		}
+		t.Logf("<=%2d: got %5d (%.3f)  paper %5d (%.3f)", th, le,
+			float64(le)/float64(len(counts)), paper[th], float64(paper[th])/16750)
+	}
+	max := 0.0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	t.Log(fmt.Sprintf("max segment count among instances: %v", max))
+}

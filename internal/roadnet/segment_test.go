@@ -1,0 +1,233 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/stats"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Segments = 4000
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Segments = 0 },
+		func(c *Config) { c.Years = 0 },
+		func(c *Config) { c.F60Coverage = 1.5 },
+		func(c *Config) { c.Dispersion = 0 },
+		func(c *Config) { c.HurdleScale = 0 },
+		func(c *Config) { c.RiskNoise = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Segments {
+		sa, sb := a.Segments[i], b.Segments[i]
+		if sa.AADT != sb.AADT || sa.Crashes != sb.Crashes || sa.F60 != sb.F60 {
+			t.Fatalf("segment %d differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	cfg := smallConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed++
+	b, _ := Generate(cfg)
+	same := 0
+	for i := range a.Segments {
+		if a.Segments[i].AADT == b.Segments[i].AADT {
+			same++
+		}
+	}
+	if same > len(a.Segments)/100 {
+		t.Fatalf("%d/%d segments identical across different seeds", same, len(a.Segments))
+	}
+}
+
+func TestAttributeRanges(t *testing.T) {
+	net, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Segments {
+		s := &net.Segments[i]
+		checks := []struct {
+			name   string
+			v      float64
+			lo, hi float64
+		}{
+			{"AADT", s.AADT, 10, 200000},
+			{"F60", s.F60, 0.20, 0.80},
+			{"texture", s.TextureMM, 0.15, 1.8},
+			{"roughness", s.RoughnessM, 0.8, 7.5},
+			{"rutting", s.RuttingMM, 0, 28},
+			{"deflection", s.Deflection, 0.15, 2.2},
+			{"curvature", s.CurveDeg, 0, 220},
+			{"gradient", s.GradientPct, 0, 12},
+			{"wet", s.WetExposure, 0, 1},
+			{"sealAge", s.SealAge, 0, 35},
+			{"sealWidth", s.SealWidth, 4, 17},
+			{"lanes", float64(s.Lanes), 1, 4},
+		}
+		for _, c := range checks {
+			if c.v < c.lo || c.v > c.hi || math.IsNaN(c.v) {
+				t.Fatalf("segment %d: %s = %v outside [%v, %v]", i, c.name, c.v, c.lo, c.hi)
+			}
+		}
+		if s.Crashes < 0 {
+			t.Fatalf("segment %d: negative crashes", i)
+		}
+		sum := 0
+		for _, c := range s.YearCounts {
+			if c < 0 {
+				t.Fatalf("segment %d: negative year count", i)
+			}
+			sum += c
+		}
+		if sum != s.Crashes {
+			t.Fatalf("segment %d: year counts sum %d != total %d", i, sum, s.Crashes)
+		}
+		if s.Structural && s.Crashes != 0 {
+			t.Fatalf("segment %d: structural zero recorded crashes", i)
+		}
+	}
+}
+
+// TestRiskDrivesCrashes verifies the central causal link: high-risk
+// segments crash more. Without this, the threshold sweep could not find any
+// signal.
+func TestRiskDrivesCrashes(t *testing.T) {
+	net, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var risks, counts []float64
+	for i := range net.Segments {
+		risks = append(risks, net.Segments[i].Risk)
+		counts = append(counts, float64(net.Segments[i].Crashes))
+	}
+	if r := stats.Pearson(risks, counts); r < 0.4 {
+		t.Fatalf("risk-count correlation = %v, want > 0.4", r)
+	}
+}
+
+// TestSkidResistanceEffect reproduces the paper's domain finding that skid
+// resistance relates strongly to crash segments: high-count segments have
+// materially lower F60 than no-crash segments.
+func TestSkidResistanceEffect(t *testing.T) {
+	net, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero, high []float64
+	for i := range net.Segments {
+		s := &net.Segments[i]
+		switch {
+		case s.Crashes == 0:
+			zero = append(zero, s.F60)
+		case s.Crashes > 8:
+			high = append(high, s.F60)
+		}
+	}
+	if len(zero) < 100 || len(high) < 30 {
+		t.Fatalf("unexpected group sizes zero=%d high=%d", len(zero), len(high))
+	}
+	mz, mh := stats.Mean(zero), stats.Mean(high)
+	if mz-mh < 0.015 {
+		t.Fatalf("F60 means: no-crash %.4f vs high-crash %.4f, want a visible deficit", mz, mh)
+	}
+}
+
+// TestLowCrashResemblesNoCrash is the paper's headline phenomenon at the
+// generative level: 1-2 crash segments sit much closer to no-crash segments
+// in risk than to high-crash segments.
+func TestLowCrashResemblesNoCrash(t *testing.T) {
+	net, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero, low, high []float64
+	for i := range net.Segments {
+		s := &net.Segments[i]
+		switch {
+		case s.Crashes == 0:
+			zero = append(zero, s.Risk)
+		case s.Crashes <= 2:
+			low = append(low, s.Risk)
+		case s.Crashes > 8:
+			high = append(high, s.Risk)
+		}
+	}
+	mz, ml, mh := stats.Mean(zero), stats.Mean(low), stats.Mean(high)
+	if !(ml < (mz+mh)/2) {
+		t.Fatalf("low-crash mean risk %.3f should sit below the zero/high midpoint (%.3f, %.3f)", ml, mz, mh)
+	}
+	// The gap to the zero class is smaller than the gap to the high class.
+	if (ml - mz) > (mh-ml)*0.8 {
+		t.Fatalf("low-crash segments too far from no-crash: dz=%.3f dh=%.3f", ml-mz, mh-ml)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	net, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, total, surveyed := net.Totals()
+	if cs <= 0 || total < cs || surveyed > total {
+		t.Fatalf("totals: segments=%d total=%d surveyed=%d", cs, total, surveyed)
+	}
+}
+
+func TestSurfaceString(t *testing.T) {
+	if Asphalt.String() != "asphalt" || SpraySeal.String() != "spray-seal" || Concrete.String() != "concrete" {
+		t.Fatal("surface names wrong")
+	}
+}
+
+func TestSpreadYears(t *testing.T) {
+	net, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Year totals should be roughly even (Figure 1: "fairly constant from
+	// year to year").
+	totals := make([]float64, net.Config.Years)
+	for i := range net.Segments {
+		for y, c := range net.Segments[i].YearCounts {
+			totals[y] += float64(c)
+		}
+	}
+	lo, hi := stats.MinMax(totals)
+	if hi > 1.3*lo {
+		t.Fatalf("year totals too uneven: %v", totals)
+	}
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or NaN when fewer than two
+// observations are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SumSquares returns the total sum of squared deviations from the mean,
+// SS(total) in the paper's R² definition.
+func SumSquares(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss
+}
+
+// MinMax returns the extrema of xs. It returns NaNs for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Skewness returns the adjusted Fisher-Pearson sample skewness, used by the
+// study's distribution-skew screening during pre-processing.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the Minitab/R default).
+// xs need not be sorted. It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(i)
+	// Convex combination rather than a+f*(b-a): immune to overflow when the
+	// endpoints have opposite signs near the float range limits.
+	return (1-frac)*sorted[i] + frac*sorted[i+1]
+}
+
+// FiveNum summarizes xs with (min, Q1, median, Q3, max) — the numbers behind
+// Figure 4's per-cluster crash-count ranges.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summary returns the five-number summary of xs.
+func Summary(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return FiveNum{nan, nan, nan, nan, nan}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return FiveNum{
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// IQR returns the inter-quartile range Q3 - Q1.
+func (f FiveNum) IQR() float64 { return f.Q3 - f.Q1 }
+
+// Histogram bins xs into nBins equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the edge bins. Counts has length nBins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram. It panics if nBins <= 0 or hi <= lo.
+func NewHistogram(xs []float64, nBins int, lo, hi float64) Histogram {
+	if nBins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, nBins)}
+	w := (hi - lo) / float64(nBins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nBins {
+			i = nBins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns NaN when lengths differ, n < 2, or a series is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

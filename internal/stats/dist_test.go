@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFReference(t *testing.T) {
+	approx(t, "Phi(0)", NormalCDF(0, 0, 1), 0.5, 1e-12)
+	approx(t, "Phi(1.96)", NormalCDF(1.96, 0, 1), 0.9750021048517795, 1e-9)
+	approx(t, "Phi(-1.6449)", NormalCDF(-1.6448536269514722, 0, 1), 0.05, 1e-9)
+	approx(t, "Phi shifted", NormalCDF(12, 10, 2), NormalCDF(1, 0, 1), 1e-12)
+}
+
+func TestNormalCDFDegenerateSigma(t *testing.T) {
+	if NormalCDF(1, 2, 0) != 0 || NormalCDF(3, 2, 0) != 1 {
+		t.Error("degenerate normal CDF should be a step function")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999} {
+		x := NormalQuantile(p)
+		back := NormalCDF(x, 0, 1)
+		approx(t, "quantile round trip", back, p, 1e-9)
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at {0,1} should be infinite")
+	}
+}
+
+func TestChiSquareCDFReference(t *testing.T) {
+	// Classical critical values: P(X > 3.841) = 0.05 at df=1,
+	// P(X > 5.991) = 0.05 at df=2, P(X > 6.635) = 0.01 at df=1.
+	approx(t, "chi2 sf df1", ChiSquareSF(3.8414588206941236, 1), 0.05, 1e-9)
+	approx(t, "chi2 sf df2", ChiSquareSF(5.991464547107979, 2), 0.05, 1e-9)
+	approx(t, "chi2 sf df1 1%", ChiSquareSF(6.6348966010212145, 1), 0.01, 1e-9)
+	approx(t, "chi2 cdf+sf", ChiSquareCDF(4.2, 3)+ChiSquareSF(4.2, 3), 1, 1e-12)
+}
+
+func TestChiSquareEdges(t *testing.T) {
+	if ChiSquareCDF(-1, 2) != 0 || ChiSquareSF(-1, 2) != 1 {
+		t.Error("chi-square at negative x should be degenerate")
+	}
+	if !math.IsNaN(ChiSquareCDF(1, 0)) {
+		t.Error("chi-square with df=0 should be NaN")
+	}
+}
+
+func TestFDistributionReference(t *testing.T) {
+	// Critical values: P(F > 4.351) ≈ 0.05 for (2, 20) df;
+	// P(F > 161.45) ≈ 0.05 for (1, 1).
+	approx(t, "F sf (2,20)", FSF(3.4928, 2, 20), 0.05, 2e-4)
+	approx(t, "F sf (1,1)", FSF(161.4476, 1, 1), 0.05, 1e-4)
+	approx(t, "F cdf+sf", FCDF(2.5, 3, 7)+FSF(2.5, 3, 7), 1, 1e-12)
+}
+
+func TestFDistributionChiSquareConsistency(t *testing.T) {
+	// As df2 → ∞, F(df1, df2) → chi2(df1)/df1.
+	x := 1.7
+	approx(t, "F vs chi2 limit", FSF(x, 3, 1e7), ChiSquareSF(3*x, 3), 1e-5)
+}
+
+func TestStudentT(t *testing.T) {
+	approx(t, "t cdf 0", StudentTCDF(0, 5), 0.5, 1e-12)
+	// Critical value: P(|T| > 2.571) = 0.05 for df=5.
+	approx(t, "t two-sided", StudentTSF2(2.5705818366147395, 5), 0.05, 1e-8)
+	// Symmetry.
+	approx(t, "t symmetry", StudentTCDF(-1.3, 9), 1-StudentTCDF(1.3, 9), 1e-12)
+	// t with huge df approaches the normal.
+	approx(t, "t normal limit", StudentTCDF(1.5, 1e7), NormalCDF(1.5, 0, 1), 1e-5)
+}
+
+func TestPoissonPMFSums(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 10} {
+		sum := 0.0
+		for k := 0; k < 200; k++ {
+			p := PoissonPMF(k, lambda)
+			if p < 0 {
+				t.Fatalf("negative PMF at k=%d", k)
+			}
+			sum += p
+		}
+		approx(t, "poisson pmf sums to 1", sum, 1, 1e-9)
+	}
+	if PoissonPMF(-1, 3) != 0 {
+		t.Error("PMF at negative k should be 0")
+	}
+	if PoissonPMF(0, 0) != 1 {
+		t.Error("PMF(0; 0) should be 1")
+	}
+}
+
+func TestNegBinomialPMFSumsAndMean(t *testing.T) {
+	mu, size := 4.0, 1.5
+	sum, mean := 0.0, 0.0
+	for k := 0; k < 2000; k++ {
+		p := NegBinomialPMF(k, mu, size)
+		sum += p
+		mean += float64(k) * p
+	}
+	approx(t, "negbin pmf sum", sum, 1, 1e-9)
+	approx(t, "negbin mean", mean, mu, 1e-6)
+}
+
+// Property: every CDF stays within [0,1] and is monotone.
+func TestCDFsWellFormed(t *testing.T) {
+	f := func(raw uint16) bool {
+		x := float64(raw%200) * 0.1
+		cdfs := []float64{
+			ChiSquareCDF(x, 4),
+			FCDF(x, 3, 9),
+			NormalCDF(x, 5, 2),
+			StudentTCDF(x-10, 7),
+		}
+		for _, c := range cdfs {
+			if c < -1e-12 || c > 1+1e-12 || math.IsNaN(c) {
+				return false
+			}
+		}
+		return ChiSquareCDF(x+0.1, 4) >= ChiSquareCDF(x, 4)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

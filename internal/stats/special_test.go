@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestGammaPReferenceValues(t *testing.T) {
+	// Reference values from the identity P(1, x) = 1 - e^{-x} and published
+	// tables for other shapes.
+	approx(t, "GammaP(1,1)", GammaP(1, 1), 1-math.Exp(-1), 1e-10)
+	approx(t, "GammaP(1,2.5)", GammaP(1, 2.5), 1-math.Exp(-2.5), 1e-10)
+	approx(t, "GammaP(0.5,0.5)", GammaP(0.5, 0.5), math.Erf(math.Sqrt(0.5)), 1e-10)
+	approx(t, "GammaP(3,3)", GammaP(3, 3), 0.5768099188731564, 1e-10)
+	approx(t, "GammaP(10,3)", GammaP(10, 3), 0.0011024881301589546, 1e-12)
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 10, 50} {
+		for _, x := range []float64{0.01, 0.5, 1, 5, 20, 100} {
+			if s := GammaP(a, x) + GammaQ(a, x); math.Abs(s-1) > 1e-10 {
+				t.Errorf("P+Q(a=%v,x=%v) = %v, want 1", a, x, s)
+			}
+		}
+	}
+}
+
+func TestGammaPEdges(t *testing.T) {
+	if got := GammaP(2, 0); got != 0 {
+		t.Errorf("GammaP(2,0) = %v", got)
+	}
+	if got := GammaQ(2, 0); got != 1 {
+		t.Errorf("GammaQ(2,0) = %v", got)
+	}
+	if !math.IsNaN(GammaP(-1, 1)) {
+		t.Error("GammaP with negative shape should be NaN")
+	}
+	if !math.IsNaN(GammaP(1, -1)) {
+		t.Error("GammaP with negative x should be NaN")
+	}
+}
+
+func TestGammaPMonotone(t *testing.T) {
+	f := func(raw uint16) bool {
+		a := 0.5 + float64(raw%50)
+		x1 := float64(raw%97) * 0.3
+		x2 := x1 + 0.5
+		return GammaP(a, x2) >= GammaP(a, x1)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaIncReferenceValues(t *testing.T) {
+	// I_x(1,1) = x; I_x(2,2) = x²(3-2x); symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+	approx(t, "BetaInc(1,1,0.3)", BetaInc(1, 1, 0.3), 0.3, 1e-10)
+	approx(t, "BetaInc(2,2,0.5)", BetaInc(2, 2, 0.5), 0.5, 1e-10)
+	approx(t, "BetaInc(2,2,0.25)", BetaInc(2, 2, 0.25), 0.25*0.25*(3-0.5), 1e-10)
+	approx(t, "BetaInc(5,3,0.7)", BetaInc(5, 3, 0.7), 1-BetaInc(3, 5, 0.3), 1e-10)
+}
+
+func TestBetaIncEdges(t *testing.T) {
+	if got := BetaInc(2, 3, 0); got != 0 {
+		t.Errorf("BetaInc at 0 = %v", got)
+	}
+	if got := BetaInc(2, 3, 1); got != 1 {
+		t.Errorf("BetaInc at 1 = %v", got)
+	}
+	if !math.IsNaN(BetaInc(0, 1, 0.5)) {
+		t.Error("BetaInc with a=0 should be NaN")
+	}
+	if !math.IsNaN(BetaInc(1, 1, 1.5)) {
+		t.Error("BetaInc with x>1 should be NaN")
+	}
+}
+
+func TestBetaIncMonotoneInX(t *testing.T) {
+	f := func(raw uint16) bool {
+		a := 0.5 + float64(raw%7)
+		b := 0.5 + float64((raw/7)%7)
+		x1 := float64(raw%89) / 100
+		x2 := x1 + 0.05
+		if x2 > 1 {
+			x2 = 1
+		}
+		return BetaInc(a, b, x2) >= BetaInc(a, b, x1)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaLnMatchesFactorial(t *testing.T) {
+	fact := 1.0
+	for n := 1; n <= 15; n++ {
+		if n > 1 {
+			fact *= float64(n - 1)
+		}
+		approx(t, "GammaLn", GammaLn(float64(n)), math.Log(fact), 1e-9)
+	}
+}
