@@ -201,6 +201,78 @@ func BenchmarkStatisticalBaseline(b *testing.B) {
 	b.Log("\n" + core.RenderBaseline(rows))
 }
 
+// BenchmarkTreeGrow isolates the optimized tree-growth core (presorted
+// single-pass splits) on the paper-scale phase 1 dataset: one chi-square
+// decision tree and one F-test regression tree at the crash/no-crash
+// boundary.
+func BenchmarkTreeGrow(b *testing.B) {
+	s := benchStudy(b)
+	ds, err := s.CombinedDataset().CountThresholdTarget(roadnet.CrashCountAttr, 0, "cp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := ds.MustAttrIndex("cp")
+	num := make([]float64, ds.Len())
+	copy(num, ds.Col(target))
+	dsNum, err := ds.AppendColumn(data.Attribute{Name: "cp_num", Kind: data.Interval}, num)
+	if err != nil {
+		b.Fatal(err)
+	}
+	numCol := dsNum.MustAttrIndex("cp_num")
+	var features []int
+	for _, name := range roadnet.RoadAttrNames() {
+		features = append(features, dsNum.MustAttrIndex(name))
+	}
+	b.Run("classification", func(b *testing.B) {
+		cfg := s.Config.Tree
+		cfg.Features = features
+		var tr *tree.Tree
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			tr, err = tree.Grow(dsNum, target, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Logf("leaves=%d depth=%d", tr.Leaves(), tr.Depth())
+	})
+	b.Run("regression", func(b *testing.B) {
+		cfg := s.Config.RegTree
+		cfg.Features = features
+		var tr *tree.Tree
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			tr, err = tree.GrowRegression(dsNum, numCol, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Logf("leaves=%d depth=%d", tr.Leaves(), tr.Depth())
+	})
+}
+
+// BenchmarkSweepWorkers times the phase 2 sweep at explicit worker counts,
+// demonstrating the engine's scaling (and, via the determinism tests, that
+// the rows never depend on the count).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			s := benchStudy(b)
+			s.Config.Workers = workers
+			defer func() { s.Config.Workers = 0 }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.InvalidateCache()
+				if _, err := s.Table4(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation benches: the design choices DESIGN.md calls out. ---
 
 // phase2At prepares the phase-2 dataset at one threshold with the study's

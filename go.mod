@@ -1,0 +1,3 @@
+module roadcrash
+
+go 1.24

@@ -44,7 +44,7 @@ func (s *Study) Table5() ([]BayesRow, error) {
 			cfg.Features = features
 			return bayes.Train(tr, tgt, cfg)
 		}
-		res, err := eval.CrossValidate(trainer, ds, binCol, s.Config.CVFolds, rng.New(s.splitSeed("table5", t)))
+		res, err := eval.CrossValidateWorkers(trainer, ds, binCol, s.Config.CVFolds, rng.New(s.splitSeed("table5", t)), s.Config.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: naive Bayes at threshold %d: %w", t, err)
 		}

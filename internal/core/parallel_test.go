@@ -1,0 +1,75 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// studyWithWorkers builds a fresh small study configured for a worker count.
+func studyWithWorkers(t *testing.T, workers int) *Study {
+	t.Helper()
+	cfg := SmallConfig()
+	cfg.Workers = workers
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSweepDeterministicAcrossWorkers asserts the engine's core contract:
+// Table 3, Table 4, Table 5 and the phase 3 clustering are bit-identical
+// whether the sweep runs on 1, 2 or 8 workers. Every task derives its RNG
+// seed from its own identity, so scheduling cannot leak into results.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	type outputs struct {
+		t3, t4 []SweepRow
+		t5     []BayesRow
+		p3     *Phase3Result
+	}
+	collect := func(workers int) outputs {
+		s := studyWithWorkers(t, workers)
+		t3, err := s.Table3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t4, err := s.Table4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t5, err := s.Table5()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p3, err := s.Phase3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outputs{t3: t3, t4: t4, t5: t5, p3: p3}
+	}
+	ref := collect(1)
+	for _, workers := range []int{2, 8} {
+		got := collect(workers)
+		if !reflect.DeepEqual(ref.t3, got.t3) {
+			t.Errorf("Table3 differs between workers=1 and workers=%d:\n%v\nvs\n%v", workers, ref.t3, got.t3)
+		}
+		if !reflect.DeepEqual(ref.t4, got.t4) {
+			t.Errorf("Table4 differs between workers=1 and workers=%d:\n%v\nvs\n%v", workers, ref.t4, got.t4)
+		}
+		if !reflect.DeepEqual(ref.t5, got.t5) {
+			t.Errorf("Table5 differs between workers=1 and workers=%d", workers)
+		}
+		if !reflect.DeepEqual(ref.p3, got.p3) {
+			t.Errorf("Phase3 differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestClusterRestartsValidation rejects a negative restart count.
+func TestClusterRestartsValidation(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.ClusterRestarts = -1
+	if _, err := NewStudy(cfg); err == nil {
+		t.Error("negative ClusterRestarts accepted")
+	}
+}

@@ -47,6 +47,8 @@ func (s *Study) Phase3() (*Phase3Result, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.K = s.Config.ClusterK
 	cfg.Seed = s.Config.Seed
+	cfg.Restarts = s.Config.ClusterRestarts
+	cfg.Workers = s.Config.Workers
 	// Cluster on road attributes only: the crash count must not leak into
 	// the distance space, otherwise the homogeneity finding is circular.
 	cfg.Exclude = []string{roadnet.CrashCountAttr}

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"roadcrash/internal/data"
 	"roadcrash/internal/mining/tree"
@@ -41,8 +42,18 @@ type Config struct {
 	CVFolds int
 	// ClusterK is the phase 3 k-means cluster count (paper: 32).
 	ClusterK int
+	// ClusterRestarts is the number of independent k-means restarts in
+	// phase 3; the lowest-inertia fit wins. 0 or 1 means a single run,
+	// the default, which reproduces the paper's single-seed clustering
+	// exactly. Raising it is an opt-in quality/compute trade.
+	ClusterRestarts int
 	// Seed drives splits, CV shuffles and clustering.
 	Seed uint64
+	// Workers bounds the goroutines fanning out threshold sweeps, CV folds
+	// and clustering restarts; <= 0 means GOMAXPROCS. Results are
+	// bit-identical for every worker count: each task derives its own RNG
+	// seed and results are collected in task order.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper-scale study.
@@ -58,15 +69,16 @@ func DefaultConfig() Config {
 	// models": allow the regression trees more room.
 	regCfg.MaxLeaves = 250
 	return Config{
-		Network:    roadnet.DefaultConfig(),
-		Study:      roadnet.DefaultStudyOptions(),
-		Thresholds: []int{2, 4, 8, 16, 32, 64},
-		TrainFrac:  0.7,
-		Tree:       treeCfg,
-		RegTree:    regCfg,
-		CVFolds:    10,
-		ClusterK:   32,
-		Seed:       521526, // the paper's page span in the proceedings
+		Network:         roadnet.DefaultConfig(),
+		Study:           roadnet.DefaultStudyOptions(),
+		Thresholds:      []int{2, 4, 8, 16, 32, 64},
+		TrainFrac:       0.7,
+		Tree:            treeCfg,
+		RegTree:         regCfg,
+		CVFolds:         10,
+		ClusterK:        32,
+		ClusterRestarts: 1,
+		Seed:            521526, // the paper's page span in the proceedings
 	}
 }
 
@@ -104,6 +116,9 @@ func (c Config) validate() error {
 	if c.ClusterK < 2 {
 		return fmt.Errorf("core: ClusterK must be at least 2, got %d", c.ClusterK)
 	}
+	if c.ClusterRestarts < 0 {
+		return fmt.Errorf("core: ClusterRestarts must be non-negative, got %d", c.ClusterRestarts)
+	}
 	return nil
 }
 
@@ -122,6 +137,25 @@ type Study struct {
 	table3 []SweepRow
 	table4 []SweepRow
 	table5 []BayesRow
+
+	// derived memoizes the per-threshold target derivation (withTargets),
+	// which every table and sweep re-uses. Guarded by mu because sweeps
+	// fan out across workers.
+	mu      sync.Mutex
+	derived map[derivedKey]derivedTargets
+}
+
+// derivedKey identifies a thresholded derivation of one base dataset.
+type derivedKey struct {
+	base      *data.Dataset
+	threshold int
+}
+
+// derivedTargets caches everything withTargets computes.
+type derivedTargets struct {
+	ds             *data.Dataset
+	binCol, numCol int
+	features       []int
 }
 
 // NewStudy generates the network and prepares the modeling datasets.
@@ -156,10 +190,13 @@ func NewStudy(cfg Config) (*Study, error) {
 	return s, nil
 }
 
-// InvalidateCache drops memoized sweep results so benchmarks can time the
-// real work of each experiment.
+// InvalidateCache drops memoized sweep results and derived datasets so
+// benchmarks can time the real work of each experiment.
 func (s *Study) InvalidateCache() {
 	s.table3, s.table4, s.table5 = nil, nil, nil
+	s.mu.Lock()
+	s.derived = nil
+	s.mu.Unlock()
 }
 
 // CombinedDataset returns the phase 1 modeling dataset (road attributes +
@@ -171,8 +208,34 @@ func (s *Study) CrashOnlyDataset() *data.Dataset { return s.crashOnly }
 
 // withTargets returns base plus the binary and interval crash-proneness
 // targets for a threshold, along with their column indices and the feature
-// column list (road attributes only).
+// column list (road attributes only). Derivations are memoized per
+// (dataset, threshold) — Table 1, the sweeps and the supporting models all
+// revisit the same thresholds — and safe for concurrent sweep workers. The
+// returned dataset is shared and must be treated as read-only.
 func (s *Study) withTargets(base *data.Dataset, threshold int) (ds *data.Dataset, binCol, numCol int, features []int, err error) {
+	key := derivedKey{base: base, threshold: threshold}
+	s.mu.Lock()
+	if d, ok := s.derived[key]; ok {
+		s.mu.Unlock()
+		return d.ds, d.binCol, d.numCol, d.features, nil
+	}
+	s.mu.Unlock()
+	ds, binCol, numCol, features, err = s.deriveTargets(base, threshold)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	// The derivation is deterministic, so a concurrent duplicate compute is
+	// harmless: last writer wins with an identical value.
+	s.mu.Lock()
+	if s.derived == nil {
+		s.derived = make(map[derivedKey]derivedTargets)
+	}
+	s.derived[key] = derivedTargets{ds: ds, binCol: binCol, numCol: numCol, features: features}
+	s.mu.Unlock()
+	return ds, binCol, numCol, features, nil
+}
+
+func (s *Study) deriveTargets(base *data.Dataset, threshold int) (ds *data.Dataset, binCol, numCol int, features []int, err error) {
 	ds, err = base.CountThresholdTarget(roadnet.CrashCountAttr, threshold, TargetAttr)
 	if err != nil {
 		return nil, 0, 0, nil, err

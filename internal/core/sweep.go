@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"roadcrash/internal/data"
+	"roadcrash/internal/engine"
 	"roadcrash/internal/eval"
 	"roadcrash/internal/mining/tree"
 	"roadcrash/internal/rng"
@@ -64,12 +65,11 @@ func (s *Study) runThreshold(base *data.Dataset, phase string, threshold int) (S
 	row.MCPV = res.Confusion.MCPV()
 	row.Misclassification = res.Confusion.Misclassification()
 	row.Kappa = res.Confusion.Kappa()
-	// Leaf count reported from a tree grown with the same config (the
-	// trainer's tree is owned by the harness, so grow again — cheap and
-	// deterministic).
-	dt, err := tree.Grow(train, binCol, dtCfg)
-	if err != nil {
-		return row, err
+	// The harness surfaces the trained model, so the leaf count comes from
+	// the very tree that was assessed — no duplicate growth.
+	dt, ok := res.Model.(*tree.Tree)
+	if !ok {
+		return row, fmt.Errorf("core: decision tree trainer returned %T", res.Model)
 	}
 	row.DTLeaves = dt.Leaves()
 
@@ -96,6 +96,15 @@ func (s *Study) runThreshold(base *data.Dataset, phase string, threshold int) (S
 	return row, nil
 }
 
+// sweep fans the per-threshold assessments across the configured workers.
+// Each threshold derives its own split seed and the rows come back in
+// threshold order, so the table is bit-identical for any worker count.
+func (s *Study) sweep(base *data.Dataset, phase string, thresholds []int) ([]SweepRow, error) {
+	return engine.Map(s.Config.Workers, len(thresholds), func(i int) (SweepRow, error) {
+		return s.runThreshold(base, phase, thresholds[i])
+	})
+}
+
 // Table3 runs the phase 1 sweep on the crash/no-crash dataset, including
 // the >0 crash/no-crash boundary model, regenerating Table 3.
 func (s *Study) Table3() ([]SweepRow, error) {
@@ -103,13 +112,9 @@ func (s *Study) Table3() ([]SweepRow, error) {
 		return s.table3, nil
 	}
 	thresholds := append([]int{0}, s.Config.Thresholds...)
-	rows := make([]SweepRow, 0, len(thresholds))
-	for _, t := range thresholds {
-		row, err := s.runThreshold(s.combined, "phase1", t)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	rows, err := s.sweep(s.combined, "phase1", thresholds)
+	if err != nil {
+		return nil, err
 	}
 	s.table3 = rows
 	return rows, nil
@@ -121,13 +126,9 @@ func (s *Study) Table4() ([]SweepRow, error) {
 	if s.table4 != nil {
 		return s.table4, nil
 	}
-	rows := make([]SweepRow, 0, len(s.Config.Thresholds))
-	for _, t := range s.Config.Thresholds {
-		row, err := s.runThreshold(s.crashOnly, "phase2", t)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	rows, err := s.sweep(s.crashOnly, "phase2", s.Config.Thresholds)
+	if err != nil {
+		return nil, err
 	}
 	s.table4 = rows
 	return rows, nil

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		out, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}
+
+func TestMapFirstErrorByIndexWins(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 20, func(i int) (int, error) {
+			if i == 7 {
+				return 0, errors.New("boom-7")
+			}
+			if i == 3 {
+				return 0, wantErr
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom-3" {
+			t.Fatalf("workers=%d: err = %v, want boom-3 (lowest index)", workers, err)
+		}
+	}
+}
+
+func TestMapRunsEveryTaskOnce(t *testing.T) {
+	var calls [200]atomic.Int32
+	_, err := Map(8, len(calls), func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestMapFailFastSkipsUnstartedTasks checks that a failure stops the pool
+// from claiming new work while keeping the lowest-index error guarantee.
+func TestMapFailFastSkipsUnstartedTasks(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(1, 1000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 2 {
+			return 0, fmt.Errorf("fail-2")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail-2" {
+		t.Fatalf("err = %v", err)
+	}
+	if c := calls.Load(); c > 3 {
+		t.Fatalf("pool kept going after failure: %d calls", c)
+	}
+}

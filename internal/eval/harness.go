@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"roadcrash/internal/data"
+	"roadcrash/internal/engine"
 	"roadcrash/internal/rng"
 )
 
@@ -33,6 +34,10 @@ type SplitResult struct {
 	AUC       float64 // NaN when the validation set is single-class
 	Scores    []float64
 	Labels    []bool
+	// Model is the classifier trained on the training split, surfaced so
+	// callers can inspect model structure (leaf counts, depth) without
+	// training a duplicate. Nil for pooled results such as CrossValidate.
+	Model Classifier
 }
 
 // EvaluateSplit trains on train and scores valid at the 0.5 operating
@@ -43,6 +48,7 @@ func EvaluateSplit(trainer ClassifierTrainer, train, valid *data.Dataset, target
 	if err != nil {
 		return res, fmt.Errorf("eval: training: %w", err)
 	}
+	res.Model = model
 	row := make([]float64, valid.NumAttrs())
 	for i := 0; i < valid.Len(); i++ {
 		actual := valid.At(i, target)
@@ -91,20 +97,38 @@ func EvaluateRegressionSplit(trainer RegressorTrainer, train, valid *data.Datase
 
 // CrossValidate runs k-fold cross-validation (the paper's "10 times
 // cross-validation" for the supporting models), pooling the fold confusion
-// matrices and scores into one result.
+// matrices and scores into one result. Folds run sequentially — trainers
+// need no concurrency safety here; opt in to parallel folds with
+// CrossValidateWorkers.
 func CrossValidate(trainer ClassifierTrainer, ds *data.Dataset, target, k int, r *rng.Source) (SplitResult, error) {
+	return CrossValidateWorkers(trainer, ds, target, k, r, 1)
+}
+
+// CrossValidateWorkers is CrossValidate with a bounded worker count
+// (workers <= 0 means GOMAXPROCS). The fold assignment is drawn from r up
+// front and fold results are pooled in fold order, so the result is
+// bit-identical for every worker count. The trainer must be safe for
+// concurrent calls.
+func CrossValidateWorkers(trainer ClassifierTrainer, ds *data.Dataset, target, k int, r *rng.Source, workers int) (SplitResult, error) {
 	var res SplitResult
 	folds, err := ds.KFold(r, k)
 	if err != nil {
 		return res, err
 	}
-	for f, fold := range folds {
+	results, err := engine.Map(workers, len(folds), func(f int) (SplitResult, error) {
+		fold := folds[f]
 		train := ds.Subset(fmt.Sprintf("%s/cv%d-train", ds.Name(), f), fold[0])
 		valid := ds.Subset(fmt.Sprintf("%s/cv%d-valid", ds.Name(), f), fold[1])
 		fr, err := EvaluateSplit(trainer, train, valid, target)
 		if err != nil {
-			return res, fmt.Errorf("eval: fold %d: %w", f, err)
+			return fr, fmt.Errorf("eval: fold %d: %w", f, err)
 		}
+		return fr, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, fr := range results {
 		res.Confusion.Merge(fr.Confusion)
 		res.Scores = append(res.Scores, fr.Scores...)
 		res.Labels = append(res.Labels, fr.Labels...)

@@ -3,6 +3,7 @@ package eval
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"roadcrash/internal/data"
@@ -143,6 +144,52 @@ func TestCrossValidate(t *testing.T) {
 	}
 	if res.Confusion.Accuracy() != 1 {
 		t.Fatalf("CV accuracy = %v", res.Confusion.Accuracy())
+	}
+}
+
+// TestCrossValidateDeterministicAcrossWorkers asserts pooled CV results are
+// bit-identical for every worker count: the fold assignment is drawn before
+// the fan-out and fold outputs are pooled in fold order.
+func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
+	ds := harnessData(600)
+	target := ds.MustAttrIndex("y")
+	trainer := func(tr *data.Dataset, tgt int) (Classifier, error) {
+		return thresholdModel{cut: 100}, nil
+	}
+	ref, err := CrossValidateWorkers(trainer, ds, target, 10, rng.New(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := CrossValidateWorkers(trainer, ds, target, 10, rng.New(7), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Confusion != ref.Confusion {
+			t.Fatalf("workers=%d: confusion %+v vs %+v", workers, got.Confusion, ref.Confusion)
+		}
+		if got.AUC != ref.AUC {
+			t.Fatalf("workers=%d: AUC %v vs %v", workers, got.AUC, ref.AUC)
+		}
+		if !reflect.DeepEqual(got.Scores, ref.Scores) || !reflect.DeepEqual(got.Labels, ref.Labels) {
+			t.Fatalf("workers=%d: pooled scores/labels differ", workers)
+		}
+	}
+}
+
+// TestEvaluateSplitSurfacesModel checks the trained model rides along in the
+// result so callers can read structure without re-training.
+func TestEvaluateSplitSurfacesModel(t *testing.T) {
+	ds := harnessData(100)
+	target := ds.MustAttrIndex("y")
+	want := thresholdModel{cut: 100}
+	trainer := func(tr *data.Dataset, tgt int) (Classifier, error) { return want, nil }
+	res, err := EvaluateSplit(trainer, ds, ds, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != want {
+		t.Fatalf("Model = %v, want the trained classifier", res.Model)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"roadcrash/internal/data"
+	"roadcrash/internal/engine"
 	"roadcrash/internal/mining/encode"
 	"roadcrash/internal/rng"
 )
@@ -22,6 +23,14 @@ type Config struct {
 	Seed     uint64
 	Exclude  []string // attributes left out of the distance space
 	MinMoved int      // convergence: stop when fewer points change cluster
+	// Restarts > 1 runs that many independent k-means fits with seeds
+	// derived deterministically from Seed and keeps the lowest-inertia
+	// result (ties break on the lowest restart index). Restarts <= 1
+	// reproduces the single-run behavior exactly.
+	Restarts int
+	// Workers bounds the goroutines fanning out the restarts; <= 0 means
+	// GOMAXPROCS. The winner is independent of the worker count.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's phase 3 setup ("simple k-means as the
@@ -37,6 +46,9 @@ func (c Config) validate() error {
 	if c.MaxIter <= 0 {
 		return fmt.Errorf("cluster: MaxIter must be positive, got %d", c.MaxIter)
 	}
+	if c.Restarts < 0 {
+		return fmt.Errorf("cluster: Restarts must be non-negative, got %d", c.Restarts)
+	}
 	return nil
 }
 
@@ -51,7 +63,8 @@ type Result struct {
 }
 
 // Run clusters the dataset. Instances with missing values participate via
-// the encoder's imputation.
+// the encoder's imputation. With Config.Restarts > 1 the restarts fan out
+// across workers and the lowest-inertia fit wins deterministically.
 func Run(ds *data.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -64,8 +77,37 @@ func Run(ds *data.Dataset, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	points := enc.Matrix(ds)
-	r := rng.New(cfg.Seed)
+	if cfg.Restarts <= 1 {
+		return runOnce(points, enc, cfg, cfg.Seed), nil
+	}
+	// Restart 0 reuses cfg.Seed itself, so best-of-N is never worse than
+	// the single-run fit; the rest draw derived seeds up front from the
+	// parent stream so each restart is reproducible independently of
+	// scheduling.
+	seeds := make([]uint64, cfg.Restarts)
+	seeds[0] = cfg.Seed
+	seedSrc := rng.New(cfg.Seed)
+	for i := 1; i < len(seeds); i++ {
+		seeds[i] = seedSrc.Uint64()
+	}
+	fits, err := engine.Map(cfg.Workers, cfg.Restarts, func(i int) (*Result, error) {
+		return runOnce(points, enc, cfg, seeds[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := fits[0]
+	for _, f := range fits[1:] {
+		if f.Inertia < best.Inertia {
+			best = f
+		}
+	}
+	return best, nil
+}
 
+// runOnce performs one seeded k-means fit over the encoded points.
+func runOnce(points [][]float64, enc *encode.Encoder, cfg Config, seed uint64) *Result {
+	r := rng.New(seed)
 	centroids := seedPlusPlus(r, points, cfg.K)
 	assign := make([]int, len(points))
 	for i := range assign {
@@ -130,7 +172,7 @@ func Run(ds *data.Dataset, cfg Config) (*Result, error) {
 		res.Sizes[assign[i]]++
 		res.Inertia += sqDist(p, centroids[assign[i]])
 	}
-	return res, nil
+	return res
 }
 
 func sqDist(a, b []float64) float64 {

@@ -173,6 +173,54 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
+// TestRestartsDeterministicAndNoWorse verifies the restart fan-out: the
+// winner is identical for every worker count, and its inertia is no worse
+// than any individual restart's fit.
+func TestRestartsDeterministicAndNoWorse(t *testing.T) {
+	ds := blobs(150, [][2]float64{{0, 0}, {6, 0}, {0, 6}, {6, 6}}, 9)
+	cfg := DefaultConfig()
+	cfg.K = 4
+	cfg.Exclude = []string{"label"}
+	cfg.Restarts = 6
+	cfg.Workers = 1
+	ref, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		got, err := Run(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Inertia != ref.Inertia {
+			t.Fatalf("workers=%d: inertia %v vs %v", workers, got.Inertia, ref.Inertia)
+		}
+		for i := range ref.Assignment {
+			if ref.Assignment[i] != got.Assignment[i] {
+				t.Fatalf("workers=%d: assignment differs at %d", workers, i)
+			}
+		}
+	}
+	// Single-run behavior is untouched when Restarts <= 1.
+	cfg.Restarts = 1
+	single, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Restarts = 0
+	zero, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Inertia != zero.Inertia {
+		t.Fatalf("Restarts 0 vs 1 disagree: %v vs %v", zero.Inertia, single.Inertia)
+	}
+	if ref.Inertia > single.Inertia {
+		t.Fatalf("best-of-6 inertia %v worse than single run %v", ref.Inertia, single.Inertia)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	ds := blobs(2, [][2]float64{{0, 0}}, 7)
 	cfg := DefaultConfig()

@@ -174,7 +174,8 @@ func goesLeft(n *node, v float64) bool {
 	return v <= n.cut
 }
 
-// builder carries the immutable growth context.
+// builder carries the immutable growth parameters plus the growContext of
+// reusable state for one tree fit.
 type builder struct {
 	ds         *data.Dataset
 	target     int
@@ -182,6 +183,55 @@ type builder struct {
 	feats      []int
 	regression bool
 	leafBudget int // remaining leaves when MaxLeaves > 0, else -1
+	gc         growContext
+}
+
+// growContext holds the presorted per-feature index arrays and the scratch
+// buffers that let growth run without per-node sorting or allocation. A
+// node is a contiguous range [lo, hi) of rows; every order array holds
+// exactly the same instances as rows, sorted by that feature's value with
+// missing values at the end, and all arrays are stably partitioned in
+// lockstep when a split is committed. This turns growth from
+// O(nodes × features × n log n) into O(features × n log n) presorting plus
+// O(nodes × features × n) scanning, CART-style.
+type growContext struct {
+	rows  []int   // node instances, recursively partitioned in place
+	order [][]int // per-feature sorted instance indices (nil for nominal)
+	ys    []float64
+	tmp   []int  // scratch for stable partitions
+	side  []bool // instance id → routed left by the committed split
+}
+
+// initGrowContext presorts every interval feature once at the root.
+// Ties are broken on the instance index so growth is fully deterministic.
+func (b *builder) initGrowContext(idx []int) {
+	gc := &b.gc
+	gc.rows = idx
+	gc.ys = b.ds.Col(b.target)
+	gc.tmp = make([]int, len(idx))
+	gc.side = make([]bool, b.ds.Len())
+	gc.order = make([][]int, len(b.feats))
+	for k, attr := range b.feats {
+		if b.ds.Attr(attr).Kind == data.Nominal {
+			continue
+		}
+		ord := make([]int, len(idx))
+		copy(ord, idx)
+		col := b.ds.Col(attr)
+		sort.Slice(ord, func(i, j int) bool {
+			a, c := ord[i], ord[j]
+			va, vc := col[a], col[c]
+			ma, mc := data.IsMissing(va), data.IsMissing(vc)
+			if ma != mc {
+				return mc // missing sorts last
+			}
+			if !ma && va != vc {
+				return va < vc
+			}
+			return a < c
+		})
+		gc.order[k] = ord
+	}
 }
 
 // Grow fits a classification tree (chi-square criterion) on the binary
@@ -219,31 +269,33 @@ func grow(ds *data.Dataset, target int, cfg Config, regression bool) (*Tree, err
 	if cfg.MaxLeaves > 0 {
 		b.leafBudget = cfg.MaxLeaves
 	}
+	b.initGrowContext(idx)
 	t := &Tree{ds: ds, target: target, regression: regression}
-	t.root = b.build(idx, 0, t)
+	t.root = b.build(0, len(idx), 0, t)
 	return t, nil
 }
 
-func (b *builder) leafValue(idx []int) (float64, int) {
+func (b *builder) leafValue(lo, hi int) (float64, int) {
+	rows := b.gc.rows[lo:hi]
 	if b.regression {
 		sum := 0.0
-		for _, i := range idx {
-			sum += b.ds.At(i, b.target)
+		for _, i := range rows {
+			sum += b.gc.ys[i]
 		}
-		return sum / float64(len(idx)), len(idx)
+		return sum / float64(len(rows)), len(rows)
 	}
 	pos := 0
-	for _, i := range idx {
-		if b.ds.At(i, b.target) == 1 {
+	for _, i := range rows {
+		if b.gc.ys[i] == 1 {
 			pos++
 		}
 	}
 	// Laplace smoothing keeps extreme leaves off exactly 0/1.
-	return (float64(pos) + 1) / (float64(len(idx)) + 2), len(idx)
+	return (float64(pos) + 1) / (float64(len(rows)) + 2), len(rows)
 }
 
-func (b *builder) build(idx []int, depth int, t *Tree) *node {
-	value, n := b.leafValue(idx)
+func (b *builder) build(lo, hi, depth int, t *Tree) *node {
+	value, n := b.leafValue(lo, hi)
 	mkLeaf := func() *node {
 		id := t.leaves
 		t.leaves++
@@ -252,21 +304,21 @@ func (b *builder) build(idx []int, depth int, t *Tree) *node {
 		}
 		return &node{leaf: true, value: value, n: n, id: id}
 	}
-	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf {
+	if depth >= b.cfg.MaxDepth || hi-lo < 2*b.cfg.MinLeaf {
 		return mkLeaf()
 	}
 	if b.leafBudget == 0 || (b.leafBudget > 0 && b.leafBudget < 2) {
 		return mkLeaf()
 	}
-	if b.pure(idx) {
+	if b.pure(lo, hi) {
 		return mkLeaf()
 	}
-	best, ok := b.bestSplit(idx)
+	best, ok := b.bestSplit(lo, hi)
 	if !ok || best.pValue > b.cfg.Alpha {
 		return mkLeaf()
 	}
-	leftIdx, rightIdx := b.partition(idx, best)
-	if len(leftIdx) < b.cfg.MinLeaf || len(rightIdx) < b.cfg.MinLeaf {
+	mid := b.partition(lo, hi, best)
+	if mid-lo < b.cfg.MinLeaf || hi-mid < b.cfg.MinLeaf {
 		return mkLeaf()
 	}
 	if b.leafBudget > 0 {
@@ -279,34 +331,58 @@ func (b *builder) build(idx []int, depth int, t *Tree) *node {
 		leftLevels:  best.leftLevels,
 		missingLeft: best.missingLeft,
 	}
-	nd.left = b.build(leftIdx, depth+1, t)
-	nd.right = b.build(rightIdx, depth+1, t)
+	nd.left = b.build(lo, mid, depth+1, t)
+	nd.right = b.build(mid, hi, depth+1, t)
 	return nd
 }
 
-func (b *builder) pure(idx []int) bool {
-	first := b.ds.At(idx[0], b.target)
-	for _, i := range idx[1:] {
-		if b.ds.At(i, b.target) != first {
+func (b *builder) pure(lo, hi int) bool {
+	rows := b.gc.rows[lo:hi]
+	first := b.gc.ys[rows[0]]
+	for _, i := range rows[1:] {
+		if b.gc.ys[i] != first {
 			return false
 		}
 	}
 	return true
 }
 
-func (b *builder) partition(idx []int, s split) (left, right []int) {
+// partition routes the node's instances with the committed split and stably
+// partitions rows and every feature-order array in place, so each side stays
+// sorted per feature. Returns the boundary index.
+func (b *builder) partition(lo, hi int, s split) int {
 	probe := node{
 		attr: s.attr, nominal: s.nominal, cut: s.cut,
 		leftLevels: s.leftLevels, missingLeft: s.missingLeft,
 	}
-	for _, i := range idx {
-		if goesLeft(&probe, b.ds.At(i, s.attr)) {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	col := b.ds.Col(s.attr)
+	for _, i := range b.gc.rows[lo:hi] {
+		b.gc.side[i] = goesLeft(&probe, col[i])
+	}
+	mid := b.stablePartition(b.gc.rows, lo, hi)
+	for _, ord := range b.gc.order {
+		if ord != nil {
+			b.stablePartition(ord, lo, hi)
 		}
 	}
-	return left, right
+	return mid
+}
+
+// stablePartition moves left-routed instances to the front of arr[lo:hi],
+// preserving relative order on both sides, using the shared scratch buffer.
+func (b *builder) stablePartition(arr []int, lo, hi int) int {
+	tmp := b.gc.tmp[:0]
+	w := lo
+	for _, i := range arr[lo:hi] {
+		if b.gc.side[i] {
+			arr[w] = i
+			w++
+		} else {
+			tmp = append(tmp, i)
+		}
+	}
+	copy(arr[w:hi], tmp)
+	return w
 }
 
 // split describes a candidate split and its test statistic.
@@ -320,17 +396,17 @@ type split struct {
 	pValue      float64
 }
 
-func (b *builder) bestSplit(idx []int) (split, bool) {
+func (b *builder) bestSplit(lo, hi int) (split, bool) {
 	var best split
 	best.pValue = math.Inf(1)
 	found := false
-	for _, attr := range b.feats {
+	for k, attr := range b.feats {
 		var s split
 		var ok bool
 		if b.ds.Attr(attr).Kind == data.Nominal {
-			s, ok = b.bestNominalSplit(idx, attr)
+			s, ok = b.bestNominalSplit(lo, hi, attr)
 		} else {
-			s, ok = b.bestIntervalSplit(idx, attr)
+			s, ok = b.bestIntervalSplit(lo, hi, k, attr)
 		}
 		if !ok {
 			continue
@@ -418,44 +494,44 @@ func (b *builder) score(l, r group) (stat, p float64, ok bool) {
 	return chi2, stats.ChiSquareSF(chi2, 1), true
 }
 
-// bestIntervalSplit scans every boundary between distinct sorted values,
-// trying the missing-value group on each side.
-func (b *builder) bestIntervalSplit(idx []int, attr int) (split, bool) {
-	type pair struct{ v, y float64 }
-	pairs := make([]pair, 0, len(idx))
+// bestIntervalSplit scans every boundary between distinct values of the
+// node's presorted slice of feature k, trying the missing-value group on
+// each side. No sorting or allocation happens here: the order array was
+// sorted once at the root and partitioned in lockstep ever since.
+func (b *builder) bestIntervalSplit(lo, hi, k, attr int) (split, bool) {
+	ord := b.gc.order[k][lo:hi]
+	col := b.ds.Col(attr)
+	ys := b.gc.ys
+
+	// Missing values sort to the end of the order array.
 	var miss group
-	for _, i := range idx {
-		v := b.ds.At(i, attr)
-		y := b.ds.At(i, b.target)
-		if data.IsMissing(v) {
-			miss.add(y)
-			continue
-		}
-		pairs = append(pairs, pair{v, y})
+	nm := len(ord)
+	for nm > 0 && data.IsMissing(col[ord[nm-1]]) {
+		nm--
+		miss.add(ys[ord[nm]])
 	}
-	if len(pairs) < 2 {
+	if nm < 2 {
 		return split{}, false
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
-
 	var total group
-	for _, p := range pairs {
-		total.add(p.y)
+	for _, i := range ord[:nm] {
+		total.add(ys[i])
 	}
 	var best split
 	best.pValue = math.Inf(1)
 	found := false
 	var left group
-	for i := 0; i < len(pairs)-1; i++ {
-		left.add(pairs[i].y)
-		if pairs[i].v == pairs[i+1].v {
+	for i := 0; i < nm-1; i++ {
+		v, next := col[ord[i]], col[ord[i+1]]
+		left.add(ys[ord[i]])
+		if v == next {
 			continue
 		}
 		right := group{
 			n: total.n - left.n, pos: total.pos - left.pos,
 			sum: total.sum - left.sum, sumSq: total.sumSq - left.sumSq,
 		}
-		cut := pairs[i].v + (pairs[i+1].v-pairs[i].v)/2
+		cut := v + (next-v)/2
 		for _, missingLeft := range []bool{false, true} {
 			l, r := left, right
 			if miss.n > 0 {
@@ -485,16 +561,17 @@ func (b *builder) bestIntervalSplit(idx []int, attr int) (split, bool) {
 
 // bestNominalSplit orders levels by target rate and scans prefix splits of
 // that ordering — the classic optimal-for-binary-targets reduction.
-func (b *builder) bestNominalSplit(idx []int, attr int) (split, bool) {
+func (b *builder) bestNominalSplit(lo, hi, attr int) (split, bool) {
 	nLevels := len(b.ds.Attr(attr).Levels)
 	if nLevels < 2 || nLevels > 63 {
 		return split{}, false
 	}
+	col := b.ds.Col(attr)
 	groups := make([]group, nLevels)
 	var miss group
-	for _, i := range idx {
-		v := b.ds.At(i, attr)
-		y := b.ds.At(i, b.target)
+	for _, i := range b.gc.rows[lo:hi] {
+		v := col[i]
+		y := b.gc.ys[i]
 		if data.IsMissing(v) {
 			miss.add(y)
 			continue
@@ -514,7 +591,13 @@ func (b *builder) bestNominalSplit(idx []int, attr int) (split, bool) {
 		}
 		return float64(g.pos) / float64(g.n)
 	}
-	sort.Slice(order, func(a, c int) bool { return rate(groups[order[a]]) < rate(groups[order[c]]) })
+	sort.Slice(order, func(a, c int) bool {
+		ra, rc := rate(groups[order[a]]), rate(groups[order[c]])
+		if ra != rc {
+			return ra < rc
+		}
+		return order[a] < order[c] // deterministic on tied rates
+	})
 
 	var best split
 	best.pValue = math.Inf(1)
@@ -595,8 +678,13 @@ func (t *Tree) Rules() []Rule {
 		} else {
 			rc += " (or missing)"
 		}
-		walk(n.left, append(conds, lc))
-		walk(n.right, append(conds, rc))
+		// Copy on branch: the two appends must not share a backing array,
+		// or the right branch would clobber conditions still referenced by
+		// the left branch's subtree.
+		left := append(append(make([]string, 0, len(conds)+1), conds...), lc)
+		right := append(append(make([]string, 0, len(conds)+1), conds...), rc)
+		walk(n.left, left)
+		walk(n.right, right)
 	}
 	walk(t.root, nil)
 	return out

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -361,6 +362,56 @@ func TestRulesCoverAllLeaves(t *testing.T) {
 	}
 	if !strings.Contains(tr.String(), "IF") {
 		t.Fatal("String() should render rules")
+	}
+}
+
+// TestRulesDeepTreeNoAliasing guards the copy-on-branch in Rules: on a deep
+// right-spine tree, sibling condition slices must not share a backing array,
+// or one branch's conditions could clobber the other's. The tree is built
+// directly so the shape (and thus the append pattern) is fully controlled.
+func TestRulesDeepTreeNoAliasing(t *testing.T) {
+	ds := data.NewBuilder("spine").Interval("x").Binary("y").Row(0, 0).Build()
+	const depth = 24
+	// Right spine: each internal node splits x <= cut(d) with a leaf on the
+	// left and the next spine node on the right.
+	leafID := 0
+	mkLeaf := func(v float64) *node {
+		id := leafID
+		leafID++
+		return &node{leaf: true, value: v, n: 1, id: id}
+	}
+	build := func() *node {
+		bottom := mkLeaf(0.5)
+		cur := bottom
+		for d := depth - 1; d >= 0; d-- {
+			cur = &node{attr: 0, cut: float64(d), left: mkLeaf(float64(d)), right: cur}
+		}
+		return cur
+	}
+	tr := &Tree{root: build(), ds: ds, target: 1, leaves: leafID, depth: depth}
+	rules := tr.Rules()
+	if len(rules) != depth+1 {
+		t.Fatalf("rules = %d, want %d", len(rules), depth+1)
+	}
+	// Rule d must read: x > 0, x > 1, …, x > d-1, x <= d. Any aliasing
+	// between sibling walks would smear "<=" conditions into these paths.
+	for d, r := range rules[:depth] {
+		if len(r.Conditions) != d+1 {
+			t.Fatalf("rule %d has %d conditions, want %d", d, len(r.Conditions), d+1)
+		}
+		for j := 0; j < d; j++ {
+			if want := fmt.Sprintf("x > %d (or missing)", j); r.Conditions[j] != want {
+				t.Fatalf("rule %d condition %d = %q, want %q", d, j, r.Conditions[j], want)
+			}
+		}
+		if want := fmt.Sprintf("x <= %d", d); r.Conditions[d] != want {
+			t.Fatalf("rule %d last condition = %q, want %q", d, r.Conditions[d], want)
+		}
+	}
+	// The deepest rule is the all-"x >" path.
+	deepest := rules[depth]
+	if len(deepest.Conditions) != depth {
+		t.Fatalf("deepest rule has %d conditions", len(deepest.Conditions))
 	}
 }
 
