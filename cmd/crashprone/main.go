@@ -4,25 +4,35 @@
 //	crashprone generate -out ./data         # synthesize study CSVs
 //	crashprone summarize -in ./data/crash.csv
 //	crashprone sweep -phase 2               # threshold sweep + best pick
+//	crashprone sweep -export-best m.json    # …and persist the best model
 //	crashprone rules -threshold 8           # decision-tree rule extraction
 //	crashprone cluster -k 32                # phase 3 clustering report
+//	crashprone rank -threshold 8            # rank segments by proneness
 //	crashprone crisp                        # full CRISP-DM process report
+//	crashprone export -threshold 8 -out m.json   # persist a trained model
+//	crashprone score -model m.json -in segs.csv  # offline batch scoring
+//	crashprone serve -dir ./models -addr :8080   # HTTP scoring service
 //
-// All subcommands accept -scale small|paper and -seed N.
+// Study subcommands accept -scale small|paper and -seed N. The artifact
+// format and the scoring API are specified in docs/SERVING.md.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"roadcrash/internal/artifact"
 	"roadcrash/internal/core"
 	"roadcrash/internal/crisp"
 	"roadcrash/internal/data"
 	"roadcrash/internal/mining/tree"
 	"roadcrash/internal/roadnet"
+	"roadcrash/internal/serve"
 )
 
 func main() {
@@ -47,6 +57,12 @@ func main() {
 		err = cmdRank(args)
 	case "crisp":
 		err = cmdCrisp(args)
+	case "export":
+		err = cmdExport(args)
+	case "score":
+		err = cmdScore(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -63,14 +79,20 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: crashprone <command> [flags]
 
-commands:
+study commands:
   generate   synthesize the study datasets as CSV files
   summarize  print schema and distribution statistics for a dataset CSV
-  sweep      run the crash-proneness threshold sweep (phase 1 or 2)
+  sweep      run the crash-proneness threshold sweep (phase 1 or 2);
+             -export-best writes the best-MCPV model as an artifact
   rules      grow a decision tree at one threshold and print its rules
   cluster    run the phase 3 k-means clustering and crash-count ranges
   rank       rank road segments by predicted crash proneness
-  crisp      run the whole study under the CRISP-DM process framework`)
+  crisp      run the whole study under the CRISP-DM process framework
+
+model commands (see docs/SERVING.md):
+  export     train a model at a threshold and write a JSON artifact
+  score      batch-score a segments CSV offline against an artifact
+  serve      serve artifacts over the HTTP scoring API`)
 }
 
 // studyFlags wires the shared -scale and -seed flags into fs.
@@ -176,6 +198,8 @@ func cmdSummarize(args []string) error {
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	phase := fs.Int("phase", 2, "modeling phase: 1 (crash/no-crash) or 2 (crash only)")
+	exportBest := fs.String("export-best", "", "write the best-MCPV model as an artifact to this path")
+	learner := fs.String("learner", "tree", "learner for -export-best: "+fmt.Sprint(core.ExportLearners()))
 	scale, seed := studyFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -205,7 +229,170 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	fmt.Printf("best crash-proneness threshold by MCPV: >%d crashes per 4 years\n", best)
+	if *exportBest != "" {
+		a, err := study.ExportArtifact(core.ExportOptions{Phase: *phase, Threshold: best, Learner: *learner})
+		if err != nil {
+			return err
+		}
+		if err := artifact.WriteFile(*exportBest, a); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (model %q, %s, threshold >%d, MCPV %.3f)\n",
+			*exportBest, a.Name, a.Kind, a.Threshold, a.Metrics["mcpv"])
+	}
 	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	threshold := fs.Int("threshold", 8, "crash-proneness threshold")
+	phase := fs.Int("phase", 2, "modeling phase: 1 (crash/no-crash) or 2 (crash only)")
+	learner := fs.String("learner", "tree", "learner: "+fmt.Sprint(core.ExportLearners()))
+	out := fs.String("out", "", "artifact output path (required)")
+	name := fs.String("name", "", "artifact model name (default phase<P>-<learner>-cp<T>)")
+	scale, seed := studyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("export: -out is required")
+	}
+	study, err := newStudy(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	a, err := study.ExportArtifact(core.ExportOptions{
+		Phase: *phase, Threshold: *threshold, Learner: *learner, Name: *name,
+	})
+	if err != nil {
+		return err
+	}
+	if err := artifact.WriteFile(*out, a); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (model %q, %s, threshold >%d)\n", *out, a.Name, a.Kind, a.Threshold)
+	for _, k := range []string{"mcpv", "kappa", "r_squared", "auc"} {
+		if v, ok := a.Metrics[k]; ok {
+			fmt.Printf("  %s: %.4f\n", k, v)
+		}
+	}
+	return nil
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	model := fs.String("model", "", "model artifact path (required)")
+	in := fs.String("in", "", "segments CSV to score (required)")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" || *in == "" {
+		return fmt.Errorf("score: -model and -in are required")
+	}
+	a, err := artifact.ReadFile(*model)
+	if err != nil {
+		return err
+	}
+	scorer, err := a.Model()
+	if err != nil {
+		return err
+	}
+	mapper, err := artifact.NewRowMapper(a)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := data.ReadCSV(filepath.Base(*in), f)
+	if err != nil {
+		return err
+	}
+	rows, err := mapper.MapDataset(ds)
+	if err != nil {
+		return err
+	}
+	scores := artifact.Score(scorer, rows)
+
+	var file *os.File
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		file, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		w = bufio.NewWriter(file)
+	}
+	// Echo the segment id when the input carries one, else the row number.
+	idCol, hasID := []float64(nil), false
+	if j, err := ds.AttrIndex(roadnet.AttrSegmentID); err == nil {
+		idCol, hasID = ds.Col(j), true
+	}
+	idHeader := "row"
+	if hasID {
+		idHeader = roadnet.AttrSegmentID
+	}
+	fmt.Fprintf(w, "%s,risk,crash_prone\n", idHeader)
+	for i, risk := range scores {
+		id := float64(i)
+		if hasID {
+			id = idCol[i]
+		}
+		fmt.Fprintf(w, "%.0f,%g,%d\n", id, risk, boolBit(risk >= 0.5))
+	}
+	// A truncated scores file must not exit 0: surface flush/close errors.
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("score: writing output: %w", err)
+	}
+	if file != nil {
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("score: writing output: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "scored %d segments with %q (%s, threshold >%d)\n",
+		len(scores), a.Name, a.Kind, a.Threshold)
+	return nil
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory of model artifacts (*.json)")
+	model := fs.String("model", "", "single artifact to serve (alternative to -dir)")
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*dir == "") == (*model == "") {
+		return fmt.Errorf("serve: exactly one of -dir or -model is required")
+	}
+	reg := serve.NewRegistry()
+	if *dir != "" {
+		names, err := reg.LoadDir(*dir)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, "loaded model %q\n", n)
+		}
+	} else {
+		m, err := reg.LoadFile(*model)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded model %q\n", m.Artifact.Name)
+	}
+	fmt.Fprintf(os.Stderr, "serving %d model(s) on %s (POST /score, GET /models, GET /healthz)\n", reg.Len(), *addr)
+	return http.ListenAndServe(*addr, serve.NewServer(reg))
 }
 
 func cmdRules(args []string) error {

@@ -1,0 +1,420 @@
+package artifact
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/bayes"
+	"roadcrash/internal/mining/ensemble"
+	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/rng"
+)
+
+// synthDataset builds a small mixed-kind dataset with a learnable signal
+// and sprinkled missing values: positive when x1 + noise clears a cut,
+// modulated by the nominal surface.
+func synthDataset(t *testing.T, n int, seed uint64) *data.Dataset {
+	t.Helper()
+	r := rng.New(seed)
+	b := data.NewBuilder("synth").
+		Interval("x1").
+		Interval("x2").
+		Nominal("surface", "seal", "gravel", "concrete").
+		Binary("wet").
+		Binary("label").
+		Interval("label_num")
+	for i := 0; i < n; i++ {
+		x1 := r.Normal(0, 1)
+		x2 := r.Normal(0, 1)
+		surface := float64(r.Intn(3))
+		wet := float64(r.Intn(2))
+		score := x1 + 0.5*x2 + 0.8*surface + 0.3*wet + r.Normal(0, 0.5)
+		label := 0.0
+		if score > 1.2 {
+			label = 1
+		}
+		if r.Float64() < 0.05 {
+			x2 = data.Missing
+		}
+		if r.Float64() < 0.05 {
+			surface = data.Missing
+		}
+		b.Row(x1, x2, surface, wet, label, label)
+	}
+	return b.Build()
+}
+
+// heldOutRows builds a grid of full-schema probe rows, including missing
+// values and every nominal level, to pin prediction equality over the
+// whole input space rather than the training points.
+func heldOutRows(ds *data.Dataset) [][]float64 {
+	var rows [][]float64
+	for _, x1 := range []float64{-2, -0.5, 0, 0.7, 2.5, data.Missing} {
+		for _, x2 := range []float64{-1.5, 0, 1.5, data.Missing} {
+			for surface := -1; surface < 3; surface++ {
+				sv := float64(surface)
+				if surface < 0 {
+					sv = data.Missing
+				}
+				rows = append(rows, []float64{x1, x2, sv, float64(len(rows) % 2), data.Missing, data.Missing})
+			}
+		}
+	}
+	return rows
+}
+
+func treeCfg(ds *data.Dataset) tree.Config {
+	cfg := tree.DefaultConfig()
+	cfg.MinLeaf = 10
+	cfg.Features = []int{0, 1, 2, 3}
+	return cfg
+}
+
+// trainAll fits one model per artifact kind on the synthetic data.
+func trainAll(t *testing.T, ds *data.Dataset) map[Kind]Scorer {
+	t.Helper()
+	binCol := ds.MustAttrIndex("label")
+	numCol := ds.MustAttrIndex("label_num")
+
+	dt, err := tree.Grow(ds, binCol, treeCfg(ds))
+	if err != nil {
+		t.Fatalf("decision tree: %v", err)
+	}
+	rt, err := tree.GrowRegression(ds, numCol, treeCfg(ds))
+	if err != nil {
+		t.Fatalf("regression tree: %v", err)
+	}
+	nbCfg := bayes.DefaultConfig()
+	nbCfg.Features = []int{0, 1, 2, 3}
+	nb, err := bayes.Train(ds, binCol, nbCfg)
+	if err != nil {
+		t.Fatalf("naive bayes: %v", err)
+	}
+	lrCfg := logit.DefaultConfig()
+	lrCfg.Exclude = []string{"label_num"}
+	lr, err := logit.Train(ds, binCol, lrCfg)
+	if err != nil {
+		t.Fatalf("logit: %v", err)
+	}
+	bagCfg := ensemble.DefaultBaggingConfig()
+	bagCfg.Trees = 5
+	bagCfg.Tree = treeCfg(ds)
+	bag, err := ensemble.TrainBagging(ds, binCol, bagCfg)
+	if err != nil {
+		t.Fatalf("bagging: %v", err)
+	}
+	adaCfg := ensemble.DefaultAdaBoostConfig()
+	adaCfg.Rounds = 5
+	adaCfg.Tree.MinLeaf = 10
+	adaCfg.Tree.Features = []int{0, 1, 2, 3}
+	ada, err := ensemble.TrainAdaBoost(ds, binCol, adaCfg)
+	if err != nil {
+		t.Fatalf("adaboost: %v", err)
+	}
+	return map[Kind]Scorer{
+		KindDecisionTree:   dt,
+		KindRegressionTree: rt,
+		KindNaiveBayes:     nb,
+		KindLogistic:       lr,
+		KindBagging:        bag,
+		KindAdaBoost:       ada,
+	}
+}
+
+func TestRoundTripBitIdenticalPredictions(t *testing.T) {
+	ds := synthDataset(t, 600, 7)
+	probes := heldOutRows(ds)
+	for kind, model := range trainAll(t, ds) {
+		t.Run(string(kind), func(t *testing.T) {
+			a, err := New("rt-"+string(kind), kind, model, ds.Attrs(), 8, 7, "label", map[string]float64{"mcpv": 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := a.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := back.Model()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, row := range probes {
+				want := model.PredictProb(row)
+				got := decoded.PredictProb(row)
+				if math.IsNaN(want) && math.IsNaN(got) {
+					continue
+				}
+				if want != got {
+					t.Fatalf("probe %d: prediction drifted across round-trip: %v -> %v", i, want, got)
+				}
+			}
+			// Header metadata survives.
+			if back.Threshold != 8 || back.Seed != 7 || back.Target != "label" || back.Metrics["mcpv"] != 0.5 {
+				t.Fatalf("metadata mangled: %+v", back)
+			}
+		})
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	ds := synthDataset(t, 400, 11)
+	dt, err := tree.Grow(ds, ds.MustAttrIndex("label"), treeCfg(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New("det", KindDecisionTree, dt, ds.Attrs(), 4, 11, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := a.Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("encoding the same artifact twice produced different bytes")
+	}
+	// Encode -> decode -> encode is also byte-stable.
+	back, err := Decode(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b3 bytes.Buffer
+	if err := back.Encode(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b3.Bytes()) {
+		t.Fatal("re-encoding a decoded artifact produced different bytes")
+	}
+}
+
+func TestDecodeRejectsCorruptArtifacts(t *testing.T) {
+	ds := synthDataset(t, 400, 3)
+	dt, err := tree.Grow(ds, ds.MustAttrIndex("label"), treeCfg(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New("corrupt", KindDecisionTree, dt, ds.Attrs(), 8, 3, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"empty":            "",
+		"not json":         "certainly not json",
+		"truncated":        good[:len(good)/2],
+		"wrong version":    strings.Replace(good, `"format_version": 1`, `"format_version": 99`, 1),
+		"unknown kind":     strings.Replace(good, `"kind": "decision-tree"`, `"kind": "perceptron"`, 1),
+		"empty name":       strings.Replace(good, `"name": "corrupt"`, `"name": ""`, 1),
+		"no header target": strings.Replace(good, `"target":`, `"bogus":`, 1),
+		"payload mangled":  strings.Replace(good, `"root":`, `"rooty":`, 1),
+		"payload not tree": strings.Replace(good, `"payload": {`, `"payload": 42, "x": {`, 1),
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: corrupt artifact decoded without error", name)
+		}
+	}
+}
+
+// TestDecodeRejectsPayloadSchemaDrift pins the load-time contract for
+// corruption that used to surface only at scoring time: out-of-schema
+// column indices and nominal level sets that drifted between the header
+// and a tree payload.
+func TestDecodeRejectsPayloadSchemaDrift(t *testing.T) {
+	ds := synthDataset(t, 400, 13)
+	binCol := ds.MustAttrIndex("label")
+
+	nbCfg := bayes.DefaultConfig()
+	nbCfg.Features = []int{0, 1, 2, 3}
+	nb, err := bayes.Train(ds, binCol, nbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New("nb", KindNaiveBayes, nb, ds.Attrs(), 8, 13, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A hand-edited cols entry pointing outside the schema must fail the
+	// load, not panic the first PredictProb.
+	mangled := strings.Replace(buf.String(), `"cols": [`, `"cols": [999, `, 1)
+	mangled = strings.Replace(mangled, `, 3]`, `]`, 1)
+	if _, err := Decode(strings.NewReader(mangled)); err == nil {
+		t.Error("naive-bayes artifact with out-of-schema column decoded without error")
+	}
+
+	dt, err := tree.Grow(ds, binCol, treeCfg(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := New("dt", KindDecisionTree, dt, ds.Attrs(), 8, 13, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ta.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Permute the header's nominal level order relative to the tree
+	// payload: silent misrouting of every nominal value if accepted.
+	swapped := strings.Replace(buf.String(),
+		"\"seal\",\n        \"gravel\"", "\"gravel\",\n        \"seal\"", 1)
+	if swapped == buf.String() {
+		t.Fatal("test setup: level-order replacement did not apply")
+	}
+	if _, err := Decode(strings.NewReader(swapped)); err == nil {
+		t.Error("tree artifact with drifted level order decoded without error")
+	}
+}
+
+func TestRowMapperDataset(t *testing.T) {
+	ds := synthDataset(t, 400, 5)
+	dt, err := tree.Grow(ds, ds.MustAttrIndex("label"), treeCfg(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New("map", KindDecisionTree, dt, ds.Attrs(), 8, 5, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewRowMapper(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An input with renamed-away targets, an extra bookkeeping column and
+	// shuffled column order must score identically to in-process rows.
+	in := data.NewBuilder("batch").
+		Interval("segment_id").
+		Nominal("surface", "gravel", "seal"). // different level order than training
+		Interval("x1").
+		Binary("wet")
+	in.Row(1, 0, -1.5, 1) // gravel
+	in.Row(2, 1, 2.0, 0)  // seal
+	in.Row(3, data.Missing, 0.3, 1)
+	batch := in.Build()
+
+	rows, err := m.MapDataset(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Schema order: x1, x2, surface, wet, label, label_num.
+	if rows[0][0] != -1.5 || rows[1][0] != 2.0 {
+		t.Fatalf("x1 misplaced: %v", rows)
+	}
+	if !data.IsMissing(rows[0][1]) || !data.IsMissing(rows[0][4]) {
+		t.Fatal("absent input columns must map to missing")
+	}
+	// gravel is level 1 in training, level 0 in the input.
+	if rows[0][2] != 1 || rows[1][2] != 0 {
+		t.Fatalf("nominal remap wrong: %v %v", rows[0][2], rows[1][2])
+	}
+	if !data.IsMissing(rows[2][2]) {
+		t.Fatal("missing nominal must stay missing")
+	}
+	scores := Score(dt, rows)
+	if !Finite(scores) {
+		t.Fatalf("scores not finite: %v", scores)
+	}
+	for i, row := range rows {
+		if scores[i] != dt.PredictProb(row) {
+			t.Fatal("Score diverges from direct prediction")
+		}
+	}
+
+	// Kind conflict: a nominal input column for an interval schema column.
+	bad := data.NewBuilder("bad").Nominal("x1", "a")
+	bad.Row(0)
+	if _, err := m.MapDataset(bad.Build()); err == nil {
+		t.Fatal("kind conflict not rejected")
+	}
+
+	// A binary schema column fed from an unannotated (interval) CSV column
+	// must reject non-0/1 values instead of letting learners index per-class
+	// tables out of range.
+	badBin := data.NewBuilder("badbin").Interval("wet")
+	badBin.Row(7)
+	if _, err := m.MapDataset(badBin.Build()); err == nil {
+		t.Fatal("out-of-range binary value not rejected")
+	}
+	okBin := data.NewBuilder("okbin").Interval("wet")
+	okBin.Row(1)
+	okBin.Row(data.Missing)
+	if _, err := m.MapDataset(okBin.Build()); err != nil {
+		t.Fatalf("0/1/missing binary values rejected: %v", err)
+	}
+}
+
+func TestRowMapperValues(t *testing.T) {
+	ds := synthDataset(t, 400, 9)
+	dt, err := tree.Grow(ds, ds.MustAttrIndex("label"), treeCfg(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New("vals", KindDecisionTree, dt, ds.Attrs(), 8, 9, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewRowMapper(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := m.MapValues(map[string]any{
+		"x1":      1.5,
+		"x2":      "0.25",
+		"surface": "gravel",
+		"wet":     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 1.5 || row[1] != 0.25 || row[2] != 1 || row[3] != 1 {
+		t.Fatalf("row = %v", row)
+	}
+	if !data.IsMissing(row[4]) || !data.IsMissing(row[5]) {
+		t.Fatal("unset targets must be missing")
+	}
+	// Unseen nominal level scores as missing rather than erroring.
+	row, err = m.MapValues(map[string]any{"surface": "marshmallow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.IsMissing(row[2]) {
+		t.Fatal("unseen level must map to missing")
+	}
+	// Typos, numbers for nominals and bad binaries fail loudly.
+	for name, vals := range map[string]map[string]any{
+		"unknown attr":    {"aad": 12.0},
+		"nominal number":  {"surface": 2.0},
+		"bad binary":      {"wet": 3.0},
+		"bad binary text": {"wet": "maybe"},
+		"bad interval":    {"x1": "fast"},
+		"bad type":        {"x1": []string{"no"}},
+	} {
+		if _, err := m.MapValues(vals); err == nil {
+			t.Errorf("%s: not rejected", name)
+		}
+	}
+}

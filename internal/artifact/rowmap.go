@@ -1,0 +1,235 @@
+package artifact
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"roadcrash/internal/data"
+)
+
+// RowMapper lays out externally supplied instances into the artifact's
+// training schema order so the decoded model can score them. Input columns
+// are matched by attribute name; schema columns absent from the input are
+// filled with the missing marker (the learners treat missing values as
+// first-class data, so targets and bookkeeping columns never need to be
+// present at scoring time). Nominal values are matched by level name
+// against the training level set; an unseen level scores as missing.
+type RowMapper struct {
+	attrs []data.Attribute
+	// levelIndex maps level name -> training level index per nominal attr.
+	levelIndex []map[string]int
+	// byName maps attribute name -> schema index.
+	byName map[string]int
+}
+
+// NewRowMapper builds a mapper for the artifact's schema.
+func NewRowMapper(a *Artifact) (*RowMapper, error) {
+	attrs, err := a.DataSchema()
+	if err != nil {
+		return nil, err
+	}
+	m := &RowMapper{
+		attrs:      attrs,
+		levelIndex: make([]map[string]int, len(attrs)),
+		byName:     make(map[string]int, len(attrs)),
+	}
+	for j, at := range attrs {
+		m.byName[at.Name] = j
+		if at.Kind == data.Nominal {
+			idx := make(map[string]int, len(at.Levels))
+			for l, name := range at.Levels {
+				idx[name] = l
+			}
+			m.levelIndex[j] = idx
+		}
+	}
+	return m, nil
+}
+
+// Width returns the schema row width the model consumes.
+func (m *RowMapper) Width() int { return len(m.attrs) }
+
+// Attrs returns the schema attributes in row order.
+func (m *RowMapper) Attrs() []data.Attribute { return m.attrs }
+
+// HasAttr reports whether name is a schema attribute.
+func (m *RowMapper) HasAttr(name string) bool {
+	_, ok := m.byName[name]
+	return ok
+}
+
+// MapDataset lays every input instance out in schema order. Input columns
+// whose names are not in the schema are ignored (batch CSVs carry
+// bookkeeping columns like segment ids); schema columns missing from the
+// input become missing values. Nominal input columns are re-indexed from
+// the input's level names to the training level set; an input column whose
+// kind conflicts with the schema is an error.
+func (m *RowMapper) MapDataset(ds *data.Dataset) ([][]float64, error) {
+	type source struct {
+		col    []float64
+		remap  []float64 // nominal: input level index -> schema value
+		direct bool
+		binary bool // schema wants 0/1: reject anything else
+	}
+	sources := make([]*source, len(m.attrs))
+	for inJ, inAttr := range ds.Attrs() {
+		j, ok := m.byName[inAttr.Name]
+		if !ok {
+			continue
+		}
+		want := m.attrs[j]
+		src := &source{col: ds.Col(inJ)}
+		switch {
+		case want.Kind == data.Nominal && inAttr.Kind == data.Nominal:
+			src.remap = make([]float64, len(inAttr.Levels))
+			for l, name := range inAttr.Levels {
+				if t, ok := m.levelIndex[j][name]; ok {
+					src.remap[l] = float64(t)
+				} else {
+					src.remap[l] = data.Missing
+				}
+			}
+		case want.Kind != data.Nominal && inAttr.Kind != data.Nominal:
+			// Interval and binary columns carry their values directly; a
+			// binary schema column must still only see 0/1 or the learners
+			// indexing per-class level counts would walk off their tables.
+			src.direct = true
+			src.binary = want.Kind == data.Binary
+		default:
+			return nil, fmt.Errorf("artifact: column %q is %s in the input but %s in the model schema",
+				inAttr.Name, inAttr.Kind, want.Kind)
+		}
+		sources[j] = src
+	}
+	rows := make([][]float64, ds.Len())
+	for i := range rows {
+		row := make([]float64, len(m.attrs))
+		for j := range row {
+			src := sources[j]
+			switch {
+			case src == nil:
+				row[j] = data.Missing
+			case src.direct:
+				v := src.col[i]
+				if src.binary && !data.IsMissing(v) && v != 0 && v != 1 {
+					return nil, fmt.Errorf("artifact: row %d: binary attribute %q got %v", i, m.attrs[j].Name, v)
+				}
+				row[j] = v
+			default:
+				v := src.col[i]
+				if data.IsMissing(v) || int(v) < 0 || int(v) >= len(src.remap) {
+					row[j] = data.Missing
+				} else {
+					row[j] = src.remap[int(v)]
+				}
+			}
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// MapValues lays one instance given as attribute name -> value out in
+// schema order. Values may be float64/int (interval, binary), bool
+// (binary) or string (nominal level name, or a parsable number for the
+// other kinds — the JSON-friendly forms). Unknown attribute names are
+// rejected so client typos fail loudly instead of silently scoring with a
+// missing value; nil values mean missing.
+func (m *RowMapper) MapValues(values map[string]any) ([]float64, error) {
+	row := make([]float64, len(m.attrs))
+	for j := range row {
+		row[j] = data.Missing
+	}
+	for name, raw := range values {
+		j, ok := m.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("artifact: unknown attribute %q", name)
+		}
+		if raw == nil {
+			continue
+		}
+		at := m.attrs[j]
+		switch v := raw.(type) {
+		case float64:
+			if err := m.setNumber(row, j, v); err != nil {
+				return nil, err
+			}
+		case int:
+			if err := m.setNumber(row, j, float64(v)); err != nil {
+				return nil, err
+			}
+		case bool:
+			if at.Kind != data.Binary {
+				return nil, fmt.Errorf("artifact: attribute %q is %s, got a boolean", name, at.Kind)
+			}
+			if v {
+				row[j] = 1
+			} else {
+				row[j] = 0
+			}
+		case string:
+			switch at.Kind {
+			case data.Nominal:
+				l, ok := m.levelIndex[j][v]
+				if !ok {
+					// Unseen level: score as missing, matching the study's
+					// treatment of missing values as valid data.
+					continue
+				}
+				row[j] = float64(l)
+			case data.Binary:
+				switch v {
+				case "0", "false", "no":
+					row[j] = 0
+				case "1", "true", "yes":
+					row[j] = 1
+				default:
+					return nil, fmt.Errorf("artifact: binary attribute %q got %q", name, v)
+				}
+			default:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("artifact: interval attribute %q got %q", name, v)
+				}
+				row[j] = f
+			}
+		default:
+			return nil, fmt.Errorf("artifact: attribute %q has unsupported value type %T", name, raw)
+		}
+	}
+	return row, nil
+}
+
+// setNumber places a numeric input value, rejecting kinds that need names.
+func (m *RowMapper) setNumber(row []float64, j int, v float64) error {
+	at := m.attrs[j]
+	if at.Kind == data.Nominal {
+		return fmt.Errorf("artifact: nominal attribute %q wants a level name, got number %v", at.Name, v)
+	}
+	if at.Kind == data.Binary && v != 0 && v != 1 {
+		return fmt.Errorf("artifact: binary attribute %q got %v", at.Name, v)
+	}
+	row[j] = v
+	return nil
+}
+
+// Score runs the model over every mapped row.
+func Score(model Scorer, rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = model.PredictProb(row)
+	}
+	return out
+}
+
+// Finite reports whether every score is a usable probability; a NaN score
+// signals a malformed model payload that slipped through validation.
+func Finite(scores []float64) bool {
+	for _, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return false
+		}
+	}
+	return true
+}

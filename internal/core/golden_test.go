@@ -1,0 +1,104 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden files pin the small-scale seeded study's rendered output
+// byte for byte, so performance refactors of the tree grower, the sweep
+// engine or the clusterer are checked against the seed results instead of
+// spot asserts. When an intentional algorithm change shifts the numbers,
+// regenerate with:
+//
+//	go test ./internal/core -run TestGolden -update
+//
+// and review the diff like any other code change.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with `go test ./internal/core -run TestGolden -update`): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	t.Errorf("%s drifted from the pinned seed output:\n%s", name, diffLines(string(want), got))
+}
+
+// diffLines renders a minimal line diff, enough to locate a drift.
+func diffLines(want, got string) string {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(wantLines)
+	if len(gotLines) > n {
+		n = len(gotLines)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  want: %q\n  got:  %q\n", i+1, w, g)
+		}
+	}
+	return b.String()
+}
+
+func TestGoldenTable3(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3_small.golden", RenderSweep("Phase 1 sweep (crash and no-crash dataset)", rows))
+}
+
+func TestGoldenTable4(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4_small.golden", RenderSweep("Phase 2 sweep (crash-only dataset)", rows))
+}
+
+func TestGoldenPhase3(t *testing.T) {
+	s := smallStudy(t)
+	res, err := s.Phase3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4 carries the per-cluster crash-count ranges; append the
+	// ANOVA summary fields explicitly so a drift in any statistic is
+	// pinned even where the chart rounds them.
+	var b strings.Builder
+	b.WriteString(RenderFigure4(res))
+	fmt.Fprintf(&b, "clusters=%d verylow=%d lowtail=%d iterations=%d\n",
+		len(res.Clusters), res.VeryLowClusters, res.LowTailClusters, res.Iterations)
+	fmt.Fprintf(&b, "anova F=%v p=%v eta2=%v inertia=%v\n",
+		res.Anova.FStatistic, res.Anova.PValue, res.Anova.EtaSquared, res.Inertia)
+	checkGolden(t, "phase3_small.golden", b.String())
+}

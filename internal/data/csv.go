@@ -48,6 +48,10 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 
 // ReadCSV parses a dataset written by WriteCSV. Nominal level sets are
 // taken from the data when the schema header declares kind "nominal".
+// The kind annotation is the suffix after the last colon, so column names
+// containing colons survive a WriteCSV/ReadCSV round-trip (WriteCSV always
+// appends a valid kind). A UTF-8 byte-order mark in front of the header is
+// tolerated.
 func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -55,25 +59,24 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("data: reading CSV header: %w", err)
 	}
+	if len(header) > 0 {
+		header[0] = strings.TrimPrefix(header[0], "\ufeff")
+	}
 	attrs := make([]Attribute, len(header))
 	levelIndex := make([]map[string]int, len(header))
 	for j, h := range header {
-		parts := strings.SplitN(h, ":", 2)
-		attrs[j].Name = strings.TrimSpace(parts[0])
-		kind := "interval"
-		if len(parts) == 2 {
-			kind = strings.TrimSpace(parts[1])
+		attrName, kind := h, "interval"
+		if cut := strings.LastIndex(h, ":"); cut >= 0 {
+			attrName, kind = h[:cut], strings.TrimSpace(h[cut+1:])
 		}
-		switch kind {
-		case "interval":
-			attrs[j].Kind = Interval
-		case "nominal":
-			attrs[j].Kind = Nominal
-			levelIndex[j] = make(map[string]int)
-		case "binary":
-			attrs[j].Kind = Binary
-		default:
+		attrs[j].Name = strings.TrimSpace(attrName)
+		k, err := KindFromString(kind)
+		if err != nil {
 			return nil, fmt.Errorf("data: column %q has unknown kind %q", attrs[j].Name, kind)
+		}
+		attrs[j].Kind = k
+		if k == Nominal {
+			levelIndex[j] = make(map[string]int)
 		}
 	}
 	cols := make([][]float64, len(header))

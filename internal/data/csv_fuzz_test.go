@@ -1,0 +1,92 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the dataset loader with arbitrary byte streams. Two
+// properties must hold for every input: the loader never panics (it
+// either parses or returns an error), and anything it accepts survives a
+// WriteCSV -> ReadCSV round-trip with its shape (and trimmed schema)
+// intact.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		// Well-formed mixed kinds with missing values.
+		"x,flag:binary,surface:nominal\n1.5,true,seal\n,no,gravel\n?,1,seal\n",
+		// UTF-8 BOM in front of the header.
+		"\ufeffx:interval,y\n1,2\n",
+		// Quoting: embedded commas, quotes and newlines.
+		"\"a,b\",c:nominal\n\"1\",\"le,vel\"\n2,\"li\"\"ne\"\n",
+		"a:nominal\n\"multi\nline\"\n",
+		// Malformed rows: field count mismatch, bad cells, bad kind.
+		"x\n1,2\n",
+		"x:binary\nmeh\n",
+		"x\nabc\n",
+		"x:weird\n1\n",
+		// Column names containing colons (kind is the last segment).
+		"odd:name:interval,plain\n3,4\n",
+		// Header only, empty input, bare separators.
+		"x,y,z:nominal\n",
+		"",
+		",,,\n,,,\n",
+		// Duplicate names, exotic floats, huge level sets.
+		"x,x\n1,2\n",
+		"x\nNaN\n",
+		"x\n1e308\n",
+		"s:nominal\na\nb\nc\nd\ne\nf\ng\nh\n",
+		// CRLF line endings and stray whitespace.
+		"x:interval,s:nominal\r\n 1 , lvl \r\n",
+		// Lone quote / unterminated quote errors from the csv layer.
+		"x\n\"unterminated\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := ReadCSV("fuzz", strings.NewReader(in))
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		for j := 0; j < ds.NumAttrs(); j++ {
+			if got := len(ds.Col(j)); got != ds.Len() {
+				t.Fatalf("column %d has %d values for %d instances", j, got, ds.Len())
+			}
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		back, err := ReadCSV("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("round-trip rejected its own output: %v\ninput: %q\nwritten: %q", err, in, buf.String())
+		}
+		if back.Len() != ds.Len() || back.NumAttrs() != ds.NumAttrs() {
+			t.Fatalf("round-trip shape %dx%d, want %dx%d", back.Len(), back.NumAttrs(), ds.Len(), ds.NumAttrs())
+		}
+		for j := 0; j < ds.NumAttrs(); j++ {
+			a, b := ds.Attr(j), back.Attr(j)
+			if b.Kind != a.Kind {
+				t.Fatalf("column %d kind %v -> %v", j, a.Kind, b.Kind)
+			}
+			// WriteCSV emits the name verbatim and ReadCSV trims it, so the
+			// schema is stable up to edge whitespace.
+			if b.Name != strings.TrimSpace(a.Name) {
+				t.Fatalf("column %d name %q -> %q", j, a.Name, b.Name)
+			}
+			// Values: interval cells round-trip exactly (FormatFloat 'g' -1),
+			// missing stays missing; nominal levels may collapse onto the
+			// missing marker when a level name reads back as one (e.g. "?").
+			if a.Kind != Interval {
+				continue
+			}
+			for i := 0; i < ds.Len(); i++ {
+				v, w := ds.At(i, j), back.At(i, j)
+				if IsMissing(v) != IsMissing(w) || (!IsMissing(v) && v != w) {
+					t.Fatalf("cell (%d,%d) %v -> %v", i, j, v, w)
+				}
+			}
+		}
+	})
+}

@@ -43,6 +43,20 @@ func (k Kind) String() string {
 	}
 }
 
+// KindFromString parses a kind name produced by Kind.String — the single
+// inverse shared by the CSV header and every model-serialization decoder.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "interval":
+		return Interval, nil
+	case "nominal":
+		return Nominal, nil
+	case "binary":
+		return Binary, nil
+	}
+	return 0, fmt.Errorf("data: unknown attribute kind %q", s)
+}
+
 // Attribute describes one column of a dataset.
 type Attribute struct {
 	Name   string
@@ -138,6 +152,18 @@ func (b *Builder) Row(values ...float64) *Builder {
 // Build finalizes the dataset. The builder must not be reused afterwards.
 func (b *Builder) Build() *Dataset {
 	return &Dataset{name: b.name, attrs: b.attrs, cols: b.cols, n: b.n}
+}
+
+// SchemaDataset builds a zero-instance dataset carrying only the given
+// attribute schema. Decoded model artifacts use it to restore the schema
+// reference that rule rendering and row layout need without shipping any
+// training data.
+func SchemaDataset(name string, attrs []Attribute) *Dataset {
+	copied := make([]Attribute, len(attrs))
+	for i, a := range attrs {
+		copied[i] = Attribute{Name: a.Name, Kind: a.Kind, Levels: append([]string(nil), a.Levels...)}
+	}
+	return &Dataset{name: name, attrs: copied, cols: make([][]float64, len(copied))}
 }
 
 // Name returns the dataset's name.

@@ -1,0 +1,104 @@
+package bayes
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"roadcrash/internal/data"
+)
+
+// The JSON form carries the fitted per-attribute likelihood models keyed
+// by source column index. Attribute order is preserved, so the decoded
+// model sums log-likelihoods in the same order and reproduces predictions
+// bit for bit.
+
+type gaussianJSON struct {
+	Mean float64 `json:"mean"`
+	SD   float64 `json:"sd"`
+}
+
+type attrModelJSON struct {
+	Kind   string          `json:"kind"`
+	Gauss  [2]gaussianJSON `json:"gauss,omitempty"`
+	Counts [2][]float64    `json:"counts,omitempty"`
+	Totals [2]float64      `json:"totals,omitempty"`
+}
+
+type modelJSON struct {
+	Prior  [2]float64      `json:"prior"`
+	Cols   []int           `json:"cols"`
+	Attrs  []attrModelJSON `json:"attrs"`
+	Target int             `json:"target"`
+}
+
+// Validate checks that the fitted model only references columns inside a
+// row schema of nAttrs columns, so a decoded model cannot index past the
+// rows it will be handed.
+func (m *Model) Validate(nAttrs int) error {
+	if m.target < 0 || m.target >= nAttrs {
+		return fmt.Errorf("bayes: target column %d outside schema of %d columns", m.target, nAttrs)
+	}
+	for _, j := range m.cols {
+		if j < 0 || j >= nAttrs {
+			return fmt.Errorf("bayes: feature column %d outside schema of %d columns", j, nAttrs)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON serializes the fitted classifier.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if len(m.attrs) == 0 {
+		return nil, fmt.Errorf("bayes: marshaling an unfitted model")
+	}
+	j := modelJSON{Prior: m.prior, Cols: m.cols, Target: m.target}
+	for _, am := range m.attrs {
+		aj := attrModelJSON{Kind: am.kind.String(), Totals: am.totals}
+		if am.kind == data.Interval {
+			for c := 0; c < 2; c++ {
+				aj.Gauss[c] = gaussianJSON{Mean: am.gauss[c].mean, SD: am.gauss[c].sd}
+			}
+		} else {
+			aj.Counts = am.counts
+		}
+		j.Attrs = append(j.Attrs, aj)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a classifier serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return fmt.Errorf("bayes: %w", err)
+	}
+	if len(j.Cols) != len(j.Attrs) {
+		return fmt.Errorf("bayes: %d columns but %d attribute models", len(j.Cols), len(j.Attrs))
+	}
+	m.prior = j.Prior
+	m.cols = j.Cols
+	m.target = j.Target
+	m.attrs = nil
+	for i, aj := range j.Attrs {
+		kind, err := data.KindFromString(aj.Kind)
+		if err != nil {
+			return fmt.Errorf("bayes: attribute model %d: %w", i, err)
+		}
+		am := &attrModel{kind: kind, totals: aj.Totals}
+		if kind == data.Interval {
+			for c := 0; c < 2; c++ {
+				if aj.Gauss[c].SD <= 0 {
+					return fmt.Errorf("bayes: attribute model %d has non-positive sd %v", i, aj.Gauss[c].SD)
+				}
+				am.gauss[c] = gaussian{mean: aj.Gauss[c].Mean, sd: aj.Gauss[c].SD}
+			}
+		} else {
+			if len(aj.Counts[0]) == 0 || len(aj.Counts[0]) != len(aj.Counts[1]) {
+				return fmt.Errorf("bayes: attribute model %d has malformed level counts", i)
+			}
+			am.counts = aj.Counts
+		}
+		m.attrs = append(m.attrs, am)
+	}
+	return nil
+}

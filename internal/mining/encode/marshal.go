@@ -1,0 +1,99 @@
+package encode
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"roadcrash/internal/data"
+)
+
+// The JSON form captures the fitted feature mapping — source columns,
+// per-column standardization/imputation statistics and output offsets —
+// so linear models can be rehydrated without their training data.
+
+type colSpecJSON struct {
+	Kind    string  `json:"kind"`
+	Mean    float64 `json:"mean"`
+	SD      float64 `json:"sd"`
+	NLevels int     `json:"n_levels,omitempty"`
+	Offset  int     `json:"offset"`
+}
+
+type encoderJSON struct {
+	Cols     []int         `json:"cols"`
+	Specs    []colSpecJSON `json:"specs"`
+	Width    int           `json:"width"`
+	Bias     bool          `json:"bias,omitempty"`
+	ColNames []string      `json:"col_names"`
+}
+
+// Validate checks that the encoder only references source columns inside
+// a row schema of nAttrs columns.
+func (e *Encoder) Validate(nAttrs int) error {
+	for _, j := range e.cols {
+		if j < 0 || j >= nAttrs {
+			return fmt.Errorf("encode: source column %d outside schema of %d columns", j, nAttrs)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON serializes the fitted encoder.
+func (e *Encoder) MarshalJSON() ([]byte, error) {
+	if e.width == 0 {
+		return nil, fmt.Errorf("encode: marshaling an unfitted encoder")
+	}
+	j := encoderJSON{Cols: e.cols, Width: e.width, Bias: e.addBias, ColNames: e.colNames}
+	for _, s := range e.specs {
+		j.Specs = append(j.Specs, colSpecJSON{
+			Kind: s.kind.String(), Mean: s.mean, SD: s.sd,
+			NLevels: s.nLevels, Offset: s.offset,
+		})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores an encoder serialized by MarshalJSON.
+func (e *Encoder) UnmarshalJSON(b []byte) error {
+	var j encoderJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	if len(j.Cols) != len(j.Specs) {
+		return fmt.Errorf("encode: %d columns but %d specs", len(j.Cols), len(j.Specs))
+	}
+	if j.Width <= 0 {
+		return fmt.Errorf("encode: non-positive width %d", j.Width)
+	}
+	specs := make([]colSpec, len(j.Specs))
+	for i, s := range j.Specs {
+		spec := colSpec{mean: s.Mean, sd: s.SD, nLevels: s.NLevels, offset: s.Offset}
+		kind, err := data.KindFromString(s.Kind)
+		if err != nil {
+			return fmt.Errorf("encode: spec %d: %w", i, err)
+		}
+		spec.kind = kind
+		if spec.kind == data.Nominal && s.NLevels <= 0 {
+			return fmt.Errorf("encode: nominal spec %d has %d levels", i, s.NLevels)
+		}
+		if spec.kind == data.Interval && spec.sd <= 0 {
+			return fmt.Errorf("encode: interval spec %d has non-positive sd %v", i, spec.sd)
+		}
+		end := spec.offset
+		if spec.kind == data.Nominal {
+			end += spec.nLevels
+		} else {
+			end++
+		}
+		if spec.offset < 0 || end > j.Width {
+			return fmt.Errorf("encode: spec %d output range [%d,%d) outside width %d", i, spec.offset, end, j.Width)
+		}
+		specs[i] = spec
+	}
+	e.cols = j.Cols
+	e.specs = specs
+	e.width = j.Width
+	e.addBias = j.Bias
+	e.colNames = j.ColNames
+	return nil
+}

@@ -1,0 +1,83 @@
+package ensemble
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"roadcrash/internal/mining/tree"
+)
+
+type baggingJSON struct {
+	Trees []*tree.Tree `json:"trees"`
+}
+
+// Members returns the fitted member trees. The caller must not modify
+// the slice; it is exposed so artifact decoding can validate every
+// member's schema against the artifact header.
+func (b *Bagging) Members() []*tree.Tree { return b.trees }
+
+// Members returns the fitted boosted trees. The caller must not modify
+// the slice.
+func (a *AdaBoost) Members() []*tree.Tree { return a.trees }
+
+// MarshalJSON serializes the bagged ensemble (member trees carry their
+// own schemas).
+func (b *Bagging) MarshalJSON() ([]byte, error) {
+	if len(b.trees) == 0 {
+		return nil, fmt.Errorf("ensemble: marshaling an unfitted bagging ensemble")
+	}
+	return json.Marshal(baggingJSON{Trees: b.trees})
+}
+
+// UnmarshalJSON restores a bagged ensemble serialized by MarshalJSON.
+func (b *Bagging) UnmarshalJSON(data []byte) error {
+	var j baggingJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("ensemble: %w", err)
+	}
+	if len(j.Trees) == 0 {
+		return fmt.Errorf("ensemble: serialized bagging ensemble has no trees")
+	}
+	for i, t := range j.Trees {
+		if t == nil {
+			return fmt.Errorf("ensemble: bagging tree %d is null", i)
+		}
+	}
+	b.trees = j.Trees
+	return nil
+}
+
+type adaBoostJSON struct {
+	Trees  []*tree.Tree `json:"trees"`
+	Alphas []float64    `json:"alphas"`
+}
+
+// MarshalJSON serializes the boosted ensemble with its round weights.
+func (a *AdaBoost) MarshalJSON() ([]byte, error) {
+	if len(a.trees) == 0 {
+		return nil, fmt.Errorf("ensemble: marshaling an unfitted AdaBoost ensemble")
+	}
+	return json.Marshal(adaBoostJSON{Trees: a.trees, Alphas: a.alphas})
+}
+
+// UnmarshalJSON restores a boosted ensemble serialized by MarshalJSON.
+func (a *AdaBoost) UnmarshalJSON(data []byte) error {
+	var j adaBoostJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("ensemble: %w", err)
+	}
+	if len(j.Trees) == 0 {
+		return fmt.Errorf("ensemble: serialized AdaBoost ensemble has no trees")
+	}
+	if len(j.Trees) != len(j.Alphas) {
+		return fmt.Errorf("ensemble: %d trees but %d alphas", len(j.Trees), len(j.Alphas))
+	}
+	for i, t := range j.Trees {
+		if t == nil {
+			return fmt.Errorf("ensemble: boosted tree %d is null", i)
+		}
+	}
+	a.trees = j.Trees
+	a.alphas = j.Alphas
+	return nil
+}

@@ -1,0 +1,46 @@
+package logit
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"roadcrash/internal/mining/encode"
+)
+
+type modelJSON struct {
+	Encoder *encode.Encoder `json:"encoder"`
+	Weights []float64       `json:"weights"`
+	Iters   int             `json:"iters,omitempty"`
+}
+
+// Validate checks that the fitted design only references source columns
+// inside a row schema of nAttrs columns.
+func (m *Model) Validate(nAttrs int) error {
+	return m.enc.Validate(nAttrs)
+}
+
+// MarshalJSON serializes the fitted regression (encoder + coefficients).
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if m.enc == nil {
+		return nil, fmt.Errorf("logit: marshaling an unfitted model")
+	}
+	return json.Marshal(modelJSON{Encoder: m.enc, Weights: m.weights, Iters: m.iters})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return fmt.Errorf("logit: %w", err)
+	}
+	if j.Encoder == nil {
+		return fmt.Errorf("logit: serialized model has no encoder")
+	}
+	if len(j.Weights) != j.Encoder.Width() {
+		return fmt.Errorf("logit: %d weights but design width %d", len(j.Weights), j.Encoder.Width())
+	}
+	m.enc = j.Encoder
+	m.weights = j.Weights
+	m.iters = j.Iters
+	return nil
+}

@@ -1,0 +1,155 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"roadcrash/internal/data"
+)
+
+// The JSON form of a fitted tree is self-contained: it carries the
+// attribute schema (names, kinds, nominal levels) alongside the node
+// structure, so a decoded tree can route rows and render rules without
+// the training dataset. encoding/json emits float64 values with the
+// shortest representation that parses back to the identical bits, so an
+// encode/decode round-trip reproduces predictions exactly.
+
+type nodeJSON struct {
+	// Internal nodes.
+	Attr        int       `json:"attr,omitempty"`
+	Nominal     bool      `json:"nominal,omitempty"`
+	Cut         float64   `json:"cut,omitempty"`
+	LeftLevels  uint64    `json:"left_levels,omitempty"`
+	MissingLeft bool      `json:"missing_left,omitempty"`
+	Left        *nodeJSON `json:"left,omitempty"`
+	Right       *nodeJSON `json:"right,omitempty"`
+
+	// Leaves.
+	Leaf  bool    `json:"leaf,omitempty"`
+	Value float64 `json:"value"`
+	N     int     `json:"n,omitempty"`
+	ID    int     `json:"id,omitempty"`
+}
+
+type attrJSON struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Levels []string `json:"levels,omitempty"`
+}
+
+type treeJSON struct {
+	Regression bool       `json:"regression,omitempty"`
+	Target     int        `json:"target"`
+	Leaves     int        `json:"leaves"`
+	Depth      int        `json:"depth"`
+	Schema     []attrJSON `json:"schema"`
+	Root       *nodeJSON  `json:"root"`
+}
+
+func marshalAttrs(attrs []data.Attribute) []attrJSON {
+	out := make([]attrJSON, len(attrs))
+	for i, a := range attrs {
+		out[i] = attrJSON{Name: a.Name, Kind: a.Kind.String(), Levels: a.Levels}
+	}
+	return out
+}
+
+func unmarshalAttrs(attrs []attrJSON) ([]data.Attribute, error) {
+	out := make([]data.Attribute, len(attrs))
+	for i, a := range attrs {
+		kind, err := data.KindFromString(a.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("tree: attribute %q: %w", a.Name, err)
+		}
+		out[i] = data.Attribute{Name: a.Name, Kind: kind, Levels: append([]string(nil), a.Levels...)}
+	}
+	return out, nil
+}
+
+func marshalNode(n *node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	if n.leaf {
+		return &nodeJSON{Leaf: true, Value: n.value, N: n.n, ID: n.id}
+	}
+	return &nodeJSON{
+		Attr: n.attr, Nominal: n.nominal, Cut: n.cut,
+		LeftLevels: n.leftLevels, MissingLeft: n.missingLeft,
+		Left: marshalNode(n.left), Right: marshalNode(n.right),
+	}
+}
+
+func unmarshalNode(j *nodeJSON, nAttrs int) (*node, error) {
+	if j == nil {
+		return nil, fmt.Errorf("tree: missing node")
+	}
+	if j.Leaf {
+		return &node{leaf: true, value: j.Value, n: j.N, id: j.ID}, nil
+	}
+	if j.Attr < 0 || j.Attr >= nAttrs {
+		return nil, fmt.Errorf("tree: split attribute %d outside schema of %d columns", j.Attr, nAttrs)
+	}
+	left, err := unmarshalNode(j.Left, nAttrs)
+	if err != nil {
+		return nil, err
+	}
+	right, err := unmarshalNode(j.Right, nAttrs)
+	if err != nil {
+		return nil, err
+	}
+	return &node{
+		attr: j.Attr, nominal: j.Nominal, cut: j.Cut,
+		leftLevels: j.LeftLevels, missingLeft: j.MissingLeft,
+		left: left, right: right,
+	}, nil
+}
+
+// MarshalJSON serializes the fitted tree with its attribute schema.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("tree: marshaling an unfitted tree")
+	}
+	return json.Marshal(treeJSON{
+		Regression: t.regression,
+		Target:     t.target,
+		Leaves:     t.leaves,
+		Depth:      t.depth,
+		Schema:     marshalAttrs(t.ds.Attrs()),
+		Root:       marshalNode(t.root),
+	})
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON, validating the
+// node structure against the embedded schema.
+func (t *Tree) UnmarshalJSON(b []byte) error {
+	var j treeJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return fmt.Errorf("tree: %w", err)
+	}
+	attrs, err := unmarshalAttrs(j.Schema)
+	if err != nil {
+		return err
+	}
+	if j.Target < 0 || j.Target >= len(attrs) {
+		return fmt.Errorf("tree: target column %d outside schema of %d columns", j.Target, len(attrs))
+	}
+	root, err := unmarshalNode(j.Root, len(attrs))
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.ds = data.SchemaDataset("tree-schema", attrs)
+	t.target = j.Target
+	t.regression = j.Regression
+	t.leaves = j.Leaves
+	t.depth = j.Depth
+	return nil
+}
+
+// NumAttrs returns the width of the full-schema rows the tree consumes.
+func (t *Tree) NumAttrs() int { return t.ds.NumAttrs() }
+
+// SchemaAttrs returns the attribute schema the tree was fitted on. The
+// caller must not modify it.
+func (t *Tree) SchemaAttrs() []data.Attribute { return t.ds.Attrs() }

@@ -1,0 +1,126 @@
+// Package serve turns persisted model artifacts into the batch scoring
+// service the paper's deployment stage calls for: an in-memory model
+// registry fed from an artifact directory, fronted by an HTTP JSON API
+// (POST /score, GET /models, GET /healthz). Loaded models are immutable,
+// so any number of requests can score against one registry concurrently.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"roadcrash/internal/artifact"
+)
+
+// Model is one servable entry: the decoded artifact, its learner and the
+// row mapper aligning request attributes to the training schema. All
+// fields are read-only after load.
+type Model struct {
+	Artifact *artifact.Artifact
+	Scorer   artifact.Scorer
+	Mapper   *artifact.RowMapper
+}
+
+// Registry is a concurrent-safe name -> model table.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Register decodes the artifact's learner, builds its row mapper and adds
+// it under its artifact name. Re-registering a name replaces the previous
+// model (in-place model rollover).
+func (r *Registry) Register(a *artifact.Artifact) (*Model, error) {
+	scorer, err := a.Model()
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := artifact.NewRowMapper(a)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Artifact: a, Scorer: scorer, Mapper: mapper}
+	r.mu.Lock()
+	r.models[a.Name] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// LoadFile reads, validates and registers one artifact file.
+func (r *Registry) LoadFile(path string) (*Model, error) {
+	a, err := artifact.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return r.Register(a)
+}
+
+// LoadDir registers every *.json artifact in dir and returns the loaded
+// model names. Two files carrying the same artifact name are an error —
+// one would silently shadow the other — and so is a directory with no
+// artifacts: a scoring service with zero models is a deployment mistake
+// worth failing on.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var names []string
+	fileFor := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		m, err := r.LoadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", e.Name(), err)
+		}
+		name := m.Artifact.Name
+		if prev, dup := fileFor[name]; dup {
+			return nil, fmt.Errorf("serve: %s and %s both carry model name %q", prev, e.Name(), name)
+		}
+		fileFor[name] = e.Name()
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("serve: no model artifacts (*.json) in %s", dir)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Get returns the named model.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names lists registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the registered model count.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/rng"
+)
+
+// fixture trains a small decision tree, persists it to dir and returns
+// the artifact plus its in-process model for score comparison.
+func fixture(t *testing.T, dir string) (*artifact.Artifact, *tree.Tree) {
+	t.Helper()
+	r := rng.New(21)
+	b := data.NewBuilder("net").
+		Interval("aadt").
+		Nominal("surface", "seal", "gravel").
+		Binary("crash_prone")
+	for i := 0; i < 400; i++ {
+		aadt := 500 + 4000*r.Float64()
+		surface := float64(r.Intn(2))
+		label := 0.0
+		if aadt > 2400 || (surface == 1 && aadt > 1500) {
+			label = 1
+		}
+		b.Row(aadt, surface, label)
+	}
+	ds := b.Build()
+	cfg := tree.DefaultConfig()
+	cfg.MinLeaf = 10
+	cfg.Features = []int{0, 1}
+	dt, err := tree.Grow(ds, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := artifact.New("cp-8-tree", artifact.KindDecisionTree, dt, ds.Attrs(), 8, 21, "crash_prone", map[string]float64{"mcpv": 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.WriteFile(filepath.Join(dir, "cp-8-tree.json"), a); err != nil {
+		t.Fatal(err)
+	}
+	return a, dt
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *tree.Tree) {
+	t.Helper()
+	dir := t.TempDir()
+	_, dt := fixture(t, dir)
+	reg := NewRegistry()
+	names, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "cp-8-tree" {
+		t.Fatalf("loaded %v", names)
+	}
+	srv := httptest.NewServer(NewServer(reg))
+	t.Cleanup(srv.Close)
+	return srv, dt
+}
+
+func postScore(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/score", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestScoreHappyPath(t *testing.T) {
+	srv, dt := newTestServer(t)
+	segments := []map[string]any{
+		{"aadt": 3000.0, "surface": "gravel"},
+		{"aadt": 800.0, "surface": "seal"},
+		{"aadt": 1900.0}, // surface missing
+	}
+	resp, body := postScore(t, srv.URL, ScoreRequest{Model: "cp-8-tree", Segments: segments})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if sr.Model != "cp-8-tree" || sr.Kind != artifact.KindDecisionTree || len(sr.Scores) != 3 {
+		t.Fatalf("response = %+v", sr)
+	}
+	// The service must agree exactly with in-process prediction.
+	want := []float64{
+		dt.PredictProb([]float64{3000, 1, data.Missing}),
+		dt.PredictProb([]float64{800, 0, data.Missing}),
+		dt.PredictProb([]float64{1900, data.Missing, data.Missing}),
+	}
+	for i, s := range sr.Scores {
+		if s.Risk != want[i] {
+			t.Errorf("segment %d: served %v, in-process %v", i, s.Risk, want[i])
+		}
+		if s.CrashProne != (want[i] >= 0.5) {
+			t.Errorf("segment %d: crash_prone flag inconsistent", i)
+		}
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	seg := []map[string]any{{"aadt": 100.0}}
+
+	resp, _ := postScore(t, srv.URL, ScoreRequest{Model: "no-such-model", Segments: seg})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown model: status = %d, want 404", resp.StatusCode)
+	}
+
+	for name, body := range map[string]any{
+		"missing model name": ScoreRequest{Segments: seg},
+		"empty batch":        ScoreRequest{Model: "cp-8-tree"},
+		"unknown attribute":  ScoreRequest{Model: "cp-8-tree", Segments: []map[string]any{{"aatd": 1.0}}},
+		"unknown field":      map[string]any{"model": "cp-8-tree", "segmnets": seg},
+	} {
+		resp, rb := postScore(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", name, resp.StatusCode, rb)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rb, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error", name, rb)
+		}
+	}
+
+	// Malformed (non-JSON) body.
+	resp2, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", resp2.StatusCode)
+	}
+
+	// Wrong method.
+	resp3, err := http.Get(srv.URL + "/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /score: status = %d, want 405", resp3.StatusCode)
+	}
+}
+
+func TestModelsAndHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 1 || list.Models[0].Name != "cp-8-tree" || list.Models[0].Threshold != 8 {
+		t.Fatalf("models = %+v", list.Models)
+	}
+	if list.Models[0].Metrics["mcpv"] != 0.8 {
+		t.Fatalf("metrics = %v", list.Models[0].Metrics)
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var status struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Status != "ok" || status.Models != 1 {
+		t.Fatalf("healthz = %+v", status)
+	}
+}
+
+// TestConcurrentScoring hammers one registry from many goroutines; run
+// with -race this pins the concurrency safety of registry reads and
+// decoded-model scoring.
+func TestConcurrentScoring(t *testing.T) {
+	srv, dt := newTestServer(t)
+	want := dt.PredictProb([]float64{3000, 1, data.Missing})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				raw, _ := json.Marshal(ScoreRequest{
+					Model:    "cp-8-tree",
+					Segments: []map[string]any{{"aadt": 3000.0, "surface": "gravel"}},
+				})
+				resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var sr ScoreResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(sr.Scores) != 1 || sr.Scores[0].Risk != want {
+					errs <- fmt.Errorf("goroutine %d: got %+v, want risk %v", g, sr.Scores, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryRollover exercises concurrent re-registration against reads.
+func TestRegistryRollover(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := fixture(t, dir)
+	reg := NewRegistry()
+	if _, err := reg.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if _, err := reg.Register(a); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				m, ok := reg.Get("cp-8-tree")
+				if !ok {
+					t.Error("model vanished during rollover")
+					return
+				}
+				m.Scorer.PredictProb([]float64{1000, 0, data.Missing})
+				reg.Names()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.LoadDir(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadDir(dir); err == nil {
+		t.Error("corrupt artifact should fail the load")
+	}
+
+	// Two files carrying the same artifact name must not silently shadow
+	// each other.
+	dup := t.TempDir()
+	fixture(t, dup)
+	src, err := os.ReadFile(filepath.Join(dup, "cp-8-tree.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dup, "cp-8-tree-rollback.json"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry().LoadDir(dup); err == nil {
+		t.Error("duplicate model names across files should fail the load")
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"roadcrash/internal/artifact"
+)
+
+// MaxBatch bounds the segments accepted by one /score call so a single
+// request cannot hold a worker for unbounded time; split larger batches
+// across requests.
+const MaxBatch = 10000
+
+// maxBodyBytes caps request bodies (64 MiB comfortably fits MaxBatch
+// fully-populated segments).
+const maxBodyBytes = 64 << 20
+
+// ScoreRequest is the POST /score body: one named model and a batch of
+// segments, each a map of attribute name -> value. Values follow the
+// row-mapper conventions: numbers for interval/binary attributes, level
+// names for nominal ones, null/omitted for missing.
+type ScoreRequest struct {
+	Model    string           `json:"model"`
+	Segments []map[string]any `json:"segments"`
+}
+
+// SegmentScore is one scored segment.
+type SegmentScore struct {
+	Risk       float64 `json:"risk"`
+	CrashProne bool    `json:"crash_prone"`
+}
+
+// ScoreResponse answers POST /score.
+type ScoreResponse struct {
+	Model  string         `json:"model"`
+	Kind   artifact.Kind  `json:"kind"`
+	Scores []SegmentScore `json:"scores"`
+}
+
+// ModelInfo is one GET /models entry.
+type ModelInfo struct {
+	Name      string             `json:"name"`
+	Kind      artifact.Kind      `json:"kind"`
+	Threshold int                `json:"threshold"`
+	Seed      uint64             `json:"seed"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewServer builds the HTTP handler over a registry.
+func NewServer(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": reg.Len()})
+	})
+	mux.HandleFunc("/models", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		infos := make([]ModelInfo, 0)
+		for _, name := range reg.Names() {
+			m, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			a := m.Artifact
+			infos = append(infos, ModelInfo{
+				Name: a.Name, Kind: a.Kind, Threshold: a.Threshold,
+				Seed: a.Seed, Metrics: a.Metrics,
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+	})
+	mux.HandleFunc("/score", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		var sr ScoreRequest
+		if err := dec.Decode(&sr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+			return
+		}
+		if sr.Model == "" {
+			writeError(w, http.StatusBadRequest, "missing model name")
+			return
+		}
+		if len(sr.Segments) == 0 {
+			writeError(w, http.StatusBadRequest, "no segments to score")
+			return
+		}
+		if len(sr.Segments) > MaxBatch {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-segment limit", len(sr.Segments), MaxBatch))
+			return
+		}
+		m, ok := reg.Get(sr.Model)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", sr.Model))
+			return
+		}
+		resp := ScoreResponse{Model: sr.Model, Kind: m.Artifact.Kind, Scores: make([]SegmentScore, len(sr.Segments))}
+		for i, seg := range sr.Segments {
+			row, err := m.Mapper.MapValues(seg)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("segment %d: %v", i, err))
+				return
+			}
+			risk := m.Scorer.PredictProb(row)
+			if !artifact.Finite([]float64{risk}) {
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("segment %d: model produced a non-finite score", i))
+				return
+			}
+			resp.Scores[i] = SegmentScore{Risk: risk, CrashProne: risk >= 0.5}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
