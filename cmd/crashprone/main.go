@@ -10,17 +10,22 @@
 //	crashprone rank -threshold 8            # rank segments by proneness
 //	crashprone crisp                        # full CRISP-DM process report
 //	crashprone export -threshold 8 -out m.json   # persist a trained model
-//	crashprone score -model m.json -in segs.csv  # offline batch scoring
+//	crashprone score -model m.json -in segs.csv  # stream-score a CSV
+//	crashprone simulate -rows 1000000 | crashprone score -model m.json -format ndjson
 //	crashprone serve -dir ./models -addr :8080   # HTTP scoring service
 //
-// Study subcommands accept -scale small|paper and -seed N. The artifact
-// format and the scoring API are specified in docs/SERVING.md.
+// Study subcommands accept -scale small|paper and -seed N. score and
+// simulate stream row chunks (stdin/stdout when -in/-out are omitted), so
+// feeds of any size run in constant memory. The artifact format, the data
+// formats and the scoring API are specified in docs/SERVING.md and
+// docs/DATA.md.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -61,6 +66,8 @@ func main() {
 		err = cmdExport(args)
 	case "score":
 		err = cmdScore(args)
+	case "simulate":
+		err = cmdSimulate(args)
 	case "serve":
 		err = cmdServe(args)
 	case "help", "-h", "--help":
@@ -89,10 +96,13 @@ study commands:
   rank       rank road segments by predicted crash proneness
   crisp      run the whole study under the CRISP-DM process framework
 
-model commands (see docs/SERVING.md):
+model commands (see docs/SERVING.md and docs/DATA.md):
   export     train a model at a threshold and write a JSON artifact
-  score      batch-score a segments CSV offline against an artifact
-  serve      serve artifacts over the HTTP scoring API`)
+  score      stream-score segment rows (CSV or NDJSON, stdin by default)
+             against an artifact, in constant memory
+  simulate   stream synthetic segment-year rows for load testing
+  serve      serve artifacts over the HTTP scoring API
+             (POST /score, POST /score/stream, GET /models, GET /healthz)`)
 }
 
 // studyFlags wires the shared -scale and -seed flags into fs.
@@ -129,9 +139,13 @@ func newStudy(scale string, seed uint64) (*core.Study, error) {
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	out := fs.String("out", ".", "output directory")
+	format := fs.String("format", "csv", "output format: csv or ndjson")
 	scale, seed := studyFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "csv" && *format != "ndjson" {
+		return fmt.Errorf("generate: unknown format %q (want csv or ndjson)", *format)
 	}
 	cfg, err := buildConfig(*scale, *seed)
 	if err != nil {
@@ -149,22 +163,27 @@ func cmdGenerate(args []string) error {
 		return err
 	}
 	write := func(name string, ds *data.Dataset) error {
-		path := filepath.Join(*out, name)
+		path := filepath.Join(*out, name+"."+*format)
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := ds.WriteCSV(f); err != nil {
+		if *format == "ndjson" {
+			err = ds.WriteNDJSON(f)
+		} else {
+			err = ds.WriteCSV(f)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (%d instances)\n", path, ds.Len())
 		return f.Close()
 	}
-	if err := write("crash.csv", study.Crash); err != nil {
+	if err := write("crash", study.Crash); err != nil {
 		return err
 	}
-	if err := write("nocrash.csv", study.NoCrash); err != nil {
+	if err := write("nocrash", study.NoCrash); err != nil {
 		return err
 	}
 	segs, total, surveyed := net.Totals()
@@ -279,43 +298,77 @@ func cmdExport(args []string) error {
 	return nil
 }
 
+// openInput resolves -in: "" or "-" means stdin (not closed), anything
+// else is opened as a file.
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "" || path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// batchReaderFor builds the chunk reader for one input format. NDJSON is
+// not self-describing, so it reads in the given schema.
+func batchReaderFor(format string, r io.Reader, schema []data.Attribute, chunk int) (data.BatchReader, error) {
+	switch format {
+	case "csv":
+		return data.NewCSVBatchReader(r, chunk)
+	case "ndjson":
+		return data.NewNDJSONBatchReader(r, schema, chunk), nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want csv or ndjson)", format)
+	}
+}
+
+// feedSchema is the NDJSON schema the score command reads: the model's
+// training schema plus the study's bookkeeping attributes (segment id,
+// crash year, wet flag), mirroring the CSV path where extra named columns
+// are carried but ignored by the scorer. Attribute names outside this
+// union are still rejected as client typos.
+func feedSchema(model []data.Attribute) []data.Attribute {
+	have := make(map[string]bool, len(model))
+	merged := append([]data.Attribute(nil), model...)
+	for _, at := range model {
+		have[at.Name] = true
+	}
+	for _, at := range roadnet.StudyAttrs() {
+		if !have[at.Name] {
+			merged = append(merged, at)
+		}
+	}
+	return merged
+}
+
 func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ExitOnError)
 	model := fs.String("model", "", "model artifact path (required)")
-	in := fs.String("in", "", "segments CSV to score (required)")
+	in := fs.String("in", "-", "segment rows to score (default stdin)")
+	format := fs.String("format", "csv", "input format: csv or ndjson")
+	chunk := fs.Int("chunk", data.DefaultChunkSize, "rows per scoring chunk")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *model == "" || *in == "" {
-		return fmt.Errorf("score: -model and -in are required")
+	if *model == "" {
+		return fmt.Errorf("score: -model is required")
 	}
 	a, err := artifact.ReadFile(*model)
 	if err != nil {
 		return err
 	}
-	scorer, err := a.Model()
+	bs, err := artifact.NewBatchScorer(a)
 	if err != nil {
 		return err
 	}
-	mapper, err := artifact.NewRowMapper(a)
+	input, err := openInput(*in)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*in)
+	defer input.Close()
+	br, err := batchReaderFor(*format, bufio.NewReaderSize(input, 256<<10), feedSchema(bs.Mapper().Attrs()), *chunk)
 	if err != nil {
-		return err
+		return fmt.Errorf("score: %w", err)
 	}
-	defer f.Close()
-	ds, err := data.ReadCSV(filepath.Base(*in), f)
-	if err != nil {
-		return err
-	}
-	rows, err := mapper.MapDataset(ds)
-	if err != nil {
-		return err
-	}
-	scores := artifact.Score(scorer, rows)
 
 	var file *os.File
 	w := bufio.NewWriter(os.Stdout)
@@ -327,21 +380,36 @@ func cmdScore(args []string) error {
 		w = bufio.NewWriter(file)
 	}
 	// Echo the segment id when the input carries one, else the row number.
-	idCol, hasID := []float64(nil), false
-	if j, err := ds.AttrIndex(roadnet.AttrSegmentID); err == nil {
-		idCol, hasID = ds.Col(j), true
+	idCol := -1
+	for j, at := range br.Attrs() {
+		if at.Name == roadnet.AttrSegmentID {
+			idCol = j
+		}
 	}
 	idHeader := "row"
-	if hasID {
+	if idCol >= 0 {
 		idHeader = roadnet.AttrSegmentID
 	}
 	fmt.Fprintf(w, "%s,risk,crash_prone\n", idHeader)
-	for i, risk := range scores {
-		id := float64(i)
-		if hasID {
-			id = idCol[i]
+	row := 0
+	total, err := bs.ScoreAll(br, func(b *data.Batch, scores []float64) error {
+		for i, risk := range scores {
+			// Under a segment_id header a missing id prints as NaN —
+			// visibly not an id — never a fabricated row number that could
+			// collide with a real segment id downstream.
+			id := float64(row)
+			if idCol >= 0 {
+				id = b.At(i, idCol)
+			}
+			if _, err := fmt.Fprintf(w, "%.0f,%g,%d\n", id, risk, boolBit(risk >= 0.5)); err != nil {
+				return err
+			}
+			row++
 		}
-		fmt.Fprintf(w, "%.0f,%g,%d\n", id, risk, boolBit(risk >= 0.5))
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("score: %w", err)
 	}
 	// A truncated scores file must not exit 0: surface flush/close errors.
 	if err := w.Flush(); err != nil {
@@ -353,7 +421,71 @@ func cmdScore(args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "scored %d segments with %q (%s, threshold >%d)\n",
-		len(scores), a.Name, a.Kind, a.Threshold)
+		total, a.Name, a.Kind, a.Threshold)
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	rows := fs.Int("rows", 1000000, "segment-year rows to emit")
+	chunk := fs.Int("chunk", data.DefaultChunkSize, "rows per chunk")
+	seed := fs.Uint64("seed", 0, "stream seed (0 keeps the default)")
+	weather := fs.String("weather", "mixed", "weather regime: mixed, wet or dry")
+	jitter := fs.Float64("jitter", 1, "survey drift scale (0 disables)")
+	growth := fs.Float64("growth", 0, "extra per-year AADT growth, e.g. 0.03")
+	format := fs.String("format", "ndjson", "output format: csv or ndjson")
+	out := fs.String("out", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "csv" && *format != "ndjson" {
+		// Validate before touching -out so a bad flag cannot truncate an
+		// existing output file.
+		return fmt.Errorf("simulate: unknown format %q (want csv or ndjson)", *format)
+	}
+	opt := roadnet.DefaultScenarioOptions(*rows)
+	opt.ChunkSize = *chunk
+	opt.SurveyJitter = *jitter
+	opt.AADTGrowth = *growth
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+	w, err := roadnet.WeatherFromString(*weather)
+	if err != nil {
+		return err
+	}
+	opt.Weather = w
+	stream, err := roadnet.NewScenarioStream(opt)
+	if err != nil {
+		return err
+	}
+
+	// The batch writers buffer internally (csv.Writer / bufio), so the
+	// destination needs no extra buffering layer.
+	var file *os.File
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		file, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		dst = file
+	}
+	var bw data.BatchWriter
+	if *format == "csv" {
+		bw = data.NewCSVBatchWriter(dst, stream.Attrs())
+	} else {
+		bw = data.NewNDJSONBatchWriter(dst, stream.Attrs())
+	}
+	if err := data.Copy(bw, stream); err != nil {
+		return err
+	}
+	if file != nil {
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("simulate: writing output: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "emitted %d segment-year rows (%s weather, seed %d)\n", *rows, w, opt.Seed)
 	return nil
 }
 

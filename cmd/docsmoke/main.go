@@ -1,0 +1,268 @@
+// Command docsmoke executes the commands quoted in README.md and docs/*.md
+// against the small-scale datasets, so documented workflows cannot drift
+// from the actual CLI. It is the docs-smoke CI step.
+//
+//	go run ./cmd/docsmoke
+//
+// Every line inside a fenced sh/bash block that invokes crashprone or
+// `go run ./examples/...` is executed in a scratch directory after
+// normalization: study commands are forced to -scale small, simulate row
+// counts are capped, documented file paths are rewritten into the scratch
+// directory, and `crashprone serve` is started on a loopback port, probed
+// via /healthz and /models, then stopped. Lines the tier-1 CI already runs
+// (go build / go test / go vet) and lines requiring a live server (curl)
+// are skipped. Any executed command that fails — including a documented
+// subcommand or flag that no longer exists — fails the smoke.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// servePort is the loopback port serve lines are rebound to.
+const servePort = "127.0.0.1:18473"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "docsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("docsmoke: all documented commands ran clean")
+}
+
+func run() error {
+	root, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		return err
+	}
+	sort.Strings(docs)
+	files = append(files, docs...)
+
+	var commands []string
+	for _, f := range files {
+		cmds, err := extract(f)
+		if err != nil {
+			return err
+		}
+		commands = append(commands, cmds...)
+	}
+	if len(commands) == 0 {
+		return fmt.Errorf("no runnable commands found in %v — extraction broke or the docs lost their examples", files)
+	}
+
+	scratch, err := os.MkdirTemp("", "docsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	bin := filepath.Join(scratch, "crashprone")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/crashprone").CombinedOutput(); err != nil {
+		return fmt.Errorf("building crashprone: %v\n%s", err, out)
+	}
+	if err := prologue(bin, scratch); err != nil {
+		return err
+	}
+
+	for _, raw := range commands {
+		cmd := normalize(raw, bin, scratch)
+		fmt.Printf("== %s\n", raw)
+		if strings.Contains(cmd, " serve ") {
+			if err := smokeServe(cmd, scratch); err != nil {
+				return fmt.Errorf("%q: %w", raw, err)
+			}
+			continue
+		}
+		dir := scratch
+		if strings.HasPrefix(cmd, "go run ./examples/") {
+			dir = root
+		}
+		if err := sh(cmd, dir, 5*time.Minute); err != nil {
+			return fmt.Errorf("%q: %w", raw, err)
+		}
+	}
+	return nil
+}
+
+// extract pulls runnable command lines out of fenced sh/bash blocks.
+func extract(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cmds []string
+	inFence := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "```sh"), strings.HasPrefix(trimmed, "```bash"):
+			inFence = true
+			continue
+		case strings.HasPrefix(trimmed, "```"):
+			inFence = false
+			continue
+		}
+		if !inFence {
+			continue
+		}
+		trimmed = strings.TrimPrefix(trimmed, "$ ")
+		if i := strings.Index(trimmed, "#"); i >= 0 {
+			trimmed = strings.TrimSpace(trimmed[:i])
+		}
+		if strings.HasPrefix(trimmed, "crashprone ") || strings.HasPrefix(trimmed, "go run ./examples/") {
+			cmds = append(cmds, trimmed)
+		}
+	}
+	return cmds, nil
+}
+
+// prologue prepares the artifacts documented commands refer to: the study
+// CSVs under data/, a model artifact at m.json and a models/ directory.
+func prologue(bin, scratch string) error {
+	steps := [][]string{
+		{bin, "generate", "-scale", "small", "-out", filepath.Join(scratch, "data")},
+		{bin, "export", "-scale", "small", "-threshold", "8", "-out", filepath.Join(scratch, "m.json")},
+	}
+	for _, step := range steps {
+		cmd := exec.Command(step[0], step[1:]...)
+		cmd.Dir = scratch
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("prologue %v: %v\n%s", step[1:], err, out)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(scratch, "models"), 0o755); err != nil {
+		return err
+	}
+	src, err := os.ReadFile(filepath.Join(scratch, "m.json"))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(scratch, "models", "m.json"), src, 0o644)
+}
+
+var (
+	rowsFlag = regexp.MustCompile(`-rows\s+\d+`)
+	addrFlag = regexp.MustCompile(`-addr\s+\S+`)
+)
+
+// scaleCommands are the crashprone subcommands that accept -scale; the
+// smoke forces them to the small configuration (a later duplicate flag
+// wins in the flag package).
+var scaleCommands = map[string]bool{
+	"generate": true, "sweep": true, "rules": true, "cluster": true,
+	"rank": true, "crisp": true, "export": true,
+}
+
+// normalize rewrites one documented command so it runs quickly and inside
+// the scratch directory.
+func normalize(cmd, bin, scratch string) string {
+	// Documented paths land in the scratch directory (the prologue created
+	// data/, m.json and models/, and outputs are scratch-relative).
+	cmd = strings.ReplaceAll(cmd, "segs.csv", "data/crash.csv")
+	cmd = strings.ReplaceAll(cmd, "segs.ndjson", "data/crash.ndjson")
+	cmd = rowsFlag.ReplaceAllString(cmd, "-rows 20000")
+	cmd = addrFlag.ReplaceAllString(cmd, "-addr "+servePort)
+
+	// Force small scale on every pipeline stage that supports it, and pin
+	// serve commands to the loopback smoke port.
+	var stages []string
+	for _, stage := range strings.Split(cmd, "|") {
+		fields := strings.Fields(stage)
+		if len(fields) >= 2 && fields[0] == "crashprone" {
+			if scaleCommands[fields[1]] {
+				stage += " -scale small"
+			}
+			if fields[1] == "serve" && !strings.Contains(stage, "-addr") {
+				stage += " -addr " + servePort
+			}
+		}
+		stages = append(stages, strings.TrimSpace(stage))
+	}
+	cmd = strings.Join(stages, " | ")
+	return strings.ReplaceAll(cmd, "crashprone ", bin+" ")
+}
+
+// sh runs one shell command with a timeout, surfacing its output on
+// failure. pipefail makes a failure in ANY stage of a documented pipeline
+// fail the smoke (plain sh -c would only report the last stage, letting a
+// broken `simulate | score` line pass). The command gets its own process
+// group so a timeout kills the whole pipeline, not just the shell —
+// otherwise surviving children keep the output pipe open and the wait
+// never returns.
+func sh(cmd, dir string, timeout time.Duration) error {
+	c := exec.Command("bash", "-c", "set -o pipefail; "+cmd)
+	c.Dir = dir
+	c.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = c.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		if c.Process != nil {
+			syscall.Kill(-c.Process.Pid, syscall.SIGKILL)
+		}
+		<-done
+		return fmt.Errorf("timed out after %s", timeout)
+	}
+	if err != nil {
+		return fmt.Errorf("%v\n%s", err, out)
+	}
+	return nil
+}
+
+// smokeServe starts a documented serve command, waits for /healthz, lists
+// the models and shuts the server down.
+func smokeServe(cmd, dir string) error {
+	c := exec.Command("sh", "-c", cmd)
+	c.Dir = dir
+	c.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := c.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		syscall.Kill(-c.Process.Pid, syscall.SIGKILL)
+		c.Wait()
+	}()
+	base := "http://" + servePort
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server never became healthy on %s: %v", servePort, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/models")
+	if err != nil {
+		return fmt.Errorf("GET /models: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /models: status %d", resp.StatusCode)
+	}
+	return nil
+}

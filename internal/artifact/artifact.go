@@ -35,13 +35,14 @@ const FormatVersion = 1
 // Kind names the learner family a payload belongs to.
 type Kind string
 
+// The supported learner kinds, matching the models the study assesses.
 const (
 	KindDecisionTree   Kind = "decision-tree"   // chi-square classification tree
 	KindRegressionTree Kind = "regression-tree" // F-test regression tree
-	KindNaiveBayes     Kind = "naive-bayes"
-	KindLogistic       Kind = "logistic"
-	KindBagging        Kind = "bagging"
-	KindAdaBoost       Kind = "adaboost"
+	KindNaiveBayes     Kind = "naive-bayes"     // naive Bayes over encoded attributes
+	KindLogistic       Kind = "logistic"        // logistic regression
+	KindBagging        Kind = "bagging"         // bagged decision trees
+	KindAdaBoost       Kind = "adaboost"        // boosted decision stumps/trees
 )
 
 func (k Kind) valid() bool {

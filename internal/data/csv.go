@@ -1,49 +1,20 @@
 package data
 
 import (
-	"encoding/csv"
-	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // The CSV layout is self-describing: the header cell for each column is
 // "name:kind" (kind omitted means interval), nominal cells carry the level
 // name, binary cells carry 0/1/true/false, and missing values are empty
 // cells or "?" (the WEKA convention the original study would have used).
+// The full format, including the colon and BOM rules, is documented in
+// docs/DATA.md. Both directions are implemented by the streaming layer in
+// stream.go; the functions here are the in-memory conveniences.
 
 // WriteCSV serializes the dataset.
 func (d *Dataset) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	header := make([]string, len(d.attrs))
-	for j, a := range d.attrs {
-		header[j] = a.Name + ":" + a.Kind.String()
-	}
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("data: writing CSV header: %w", err)
-	}
-	record := make([]string, len(d.attrs))
-	for i := 0; i < d.n; i++ {
-		for j, a := range d.attrs {
-			v := d.cols[j][i]
-			switch {
-			case IsMissing(v):
-				record[j] = "?"
-			case a.Kind == Nominal:
-				record[j] = a.Levels[int(v)]
-			case a.Kind == Binary:
-				record[j] = strconv.Itoa(int(v))
-			default:
-				record[j] = strconv.FormatFloat(v, 'g', -1, 64)
-			}
-		}
-		if err := cw.Write(record); err != nil {
-			return fmt.Errorf("data: writing CSV row %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return Copy(NewCSVBatchWriter(w, d.attrs), d.Stream(DefaultChunkSize))
 }
 
 // ReadCSV parses a dataset written by WriteCSV. Nominal level sets are
@@ -51,80 +22,12 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 // The kind annotation is the suffix after the last colon, so column names
 // containing colons survive a WriteCSV/ReadCSV round-trip (WriteCSV always
 // appends a valid kind). A UTF-8 byte-order mark in front of the header is
-// tolerated.
+// tolerated. ReadCSV materializes the whole table; for out-of-core access
+// use NewCSVBatchReader, which this function is ReadAll over.
 func ReadCSV(name string, r io.Reader) (*Dataset, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
+	br, err := NewCSVBatchReader(r, DefaultChunkSize)
 	if err != nil {
-		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+		return nil, err
 	}
-	if len(header) > 0 {
-		header[0] = strings.TrimPrefix(header[0], "\ufeff")
-	}
-	attrs := make([]Attribute, len(header))
-	levelIndex := make([]map[string]int, len(header))
-	for j, h := range header {
-		attrName, kind := h, "interval"
-		if cut := strings.LastIndex(h, ":"); cut >= 0 {
-			attrName, kind = h[:cut], strings.TrimSpace(h[cut+1:])
-		}
-		attrs[j].Name = strings.TrimSpace(attrName)
-		k, err := KindFromString(kind)
-		if err != nil {
-			return nil, fmt.Errorf("data: column %q has unknown kind %q", attrs[j].Name, kind)
-		}
-		attrs[j].Kind = k
-		if k == Nominal {
-			levelIndex[j] = make(map[string]int)
-		}
-	}
-	cols := make([][]float64, len(header))
-	n := 0
-	for {
-		record, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("data: reading CSV row %d: %w", n, err)
-		}
-		if len(record) != len(header) {
-			return nil, fmt.Errorf("data: CSV row %d has %d fields, header has %d", n, len(record), len(header))
-		}
-		for j, cell := range record {
-			cell = strings.TrimSpace(cell)
-			if cell == "" || cell == "?" {
-				cols[j] = append(cols[j], Missing)
-				continue
-			}
-			switch attrs[j].Kind {
-			case Nominal:
-				idx, ok := levelIndex[j][cell]
-				if !ok {
-					idx = len(attrs[j].Levels)
-					attrs[j].Levels = append(attrs[j].Levels, cell)
-					levelIndex[j][cell] = idx
-				}
-				cols[j] = append(cols[j], float64(idx))
-			case Binary:
-				switch strings.ToLower(cell) {
-				case "0", "false", "no":
-					cols[j] = append(cols[j], 0)
-				case "1", "true", "yes":
-					cols[j] = append(cols[j], 1)
-				default:
-					return nil, fmt.Errorf("data: CSV row %d: binary column %q got %q", n, attrs[j].Name, cell)
-				}
-			default:
-				v, err := strconv.ParseFloat(cell, 64)
-				if err != nil {
-					return nil, fmt.Errorf("data: CSV row %d: interval column %q got %q", n, attrs[j].Name, cell)
-				}
-				cols[j] = append(cols[j], v)
-			}
-		}
-		n++
-	}
-	return &Dataset{name: name, attrs: attrs, cols: cols, n: n}, nil
+	return ReadAll(name, br)
 }

@@ -1,0 +1,110 @@
+package data
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeIntervalStatistics(t *testing.T) {
+	d := NewBuilder("stats").
+		Interval("x").
+		Row(1).Row(2).Row(3).Row(4).Row(Missing).
+		Build()
+	s := d.Summarize()[0]
+	if s.N != 4 || s.Missing != 1 {
+		t.Fatalf("n=%d missing=%d, want 4 and 1", s.N, s.Missing)
+	}
+	if s.Mean != 2.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Sample standard deviation of {1,2,3,4}.
+	if want := math.Sqrt(5.0 / 3.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Fatalf("range = [%v, %v]", s.Min, s.Max)
+	}
+	// A symmetric sample has zero skewness.
+	if math.Abs(s.Skewness) > 1e-12 {
+		t.Fatalf("skew = %v, want 0", s.Skewness)
+	}
+}
+
+func TestSummarizeSkewDirection(t *testing.T) {
+	d := NewBuilder("skewed").
+		Interval("x").
+		Row(1).Row(1).Row(1).Row(1).Row(50).
+		Build()
+	if s := d.Summarize()[0]; s.Skewness <= 0 {
+		t.Fatalf("right-tailed sample has skew %v, want > 0", s.Skewness)
+	}
+}
+
+func TestSummarizeNominalLevelCounts(t *testing.T) {
+	d := NewBuilder("levels").
+		Nominal("surface", "seal", "gravel", "concrete").
+		Row(0).Row(1).Row(0).Row(Missing).Row(0).
+		Build()
+	s := d.Summarize()[0]
+	if s.N != 4 || s.Missing != 1 {
+		t.Fatalf("n=%d missing=%d", s.N, s.Missing)
+	}
+	want := []int{3, 1, 0}
+	if len(s.LevelCounts) != len(want) {
+		t.Fatalf("level counts = %v", s.LevelCounts)
+	}
+	for i, c := range want {
+		if s.LevelCounts[i] != c {
+			t.Fatalf("level %d count = %d, want %d (all: %v)", i, s.LevelCounts[i], c, s.LevelCounts)
+		}
+	}
+}
+
+func TestSummarizeAllMissingColumn(t *testing.T) {
+	d := NewBuilder("void").
+		Interval("x").
+		Row(Missing).Row(Missing).
+		Build()
+	s := d.Summarize()[0]
+	if s.N != 0 || s.Missing != 2 {
+		t.Fatalf("n=%d missing=%d", s.N, s.Missing)
+	}
+	// No values: the statistics stay at their zero values, not NaN.
+	if s.Mean != 0 || s.StdDev != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty-column stats = %+v", s)
+	}
+}
+
+func TestSummarizeEveryAttribute(t *testing.T) {
+	d := sample()
+	sums := d.Summarize()
+	if len(sums) != d.NumAttrs() {
+		t.Fatalf("summarized %d attributes, dataset has %d", len(sums), d.NumAttrs())
+	}
+	for j, s := range sums {
+		if s.Attribute.Name != d.Attr(j).Name {
+			t.Fatalf("summary %d is for %q, want %q", j, s.Attribute.Name, d.Attr(j).Name)
+		}
+		if s.N+s.Missing != d.Len() {
+			t.Fatalf("attribute %q: n=%d missing=%d does not cover %d instances", s.Attribute.Name, s.N, s.Missing, d.Len())
+		}
+	}
+}
+
+func TestDatasetStringReport(t *testing.T) {
+	d := sample()
+	out := d.String()
+	if !strings.Contains(out, "dataset") || !strings.Contains(out, "instances") {
+		t.Fatalf("report header missing: %q", out)
+	}
+	for _, a := range d.Attrs() {
+		if !strings.Contains(out, a.Name) {
+			t.Fatalf("report missing attribute %q:\n%s", a.Name, out)
+		}
+	}
+	// Nominal rows render level counts, interval rows render ranges.
+	if !strings.Contains(out, "levels=") || !strings.Contains(out, "range=[") {
+		t.Fatalf("report rows malformed:\n%s", out)
+	}
+}

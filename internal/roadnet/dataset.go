@@ -94,6 +94,14 @@ func defaultMissingRates() map[string]float64 {
 	}
 }
 
+// StudyAttrs returns the study row schema — the attribute layout of every
+// dataset and stream this package produces. Streaming consumers use it as
+// the NDJSON feed schema so bookkeeping columns (segment id, crash year,
+// wet flag) are accepted alongside the modeling attributes.
+func StudyAttrs() []data.Attribute {
+	return newSchema("study").Build().Attrs()
+}
+
 func newSchema(name string) *data.Builder {
 	return data.NewBuilder(name).
 		Interval(AttrSegmentID).
@@ -119,7 +127,13 @@ func newSchema(name string) *data.Builder {
 // segmentValues assembles the shared per-segment attribute values with
 // missing-value injection applied.
 func segmentValues(s *Segment, miss map[string]bool) []float64 {
-	v := []float64{
+	return appendSegmentValues(nil, s, miss)
+}
+
+// appendSegmentValues is segmentValues into a caller-owned buffer, so the
+// scenario streamer's per-segment refresh does not allocate.
+func appendSegmentValues(dst []float64, s *Segment, miss map[string]bool) []float64 {
+	v := append(dst,
 		float64(s.ID),
 		s.AADT,
 		float64(s.Lanes),
@@ -135,18 +149,19 @@ func segmentValues(s *Segment, miss map[string]bool) []float64 {
 		s.CurveDeg,
 		s.GradientPct,
 		s.WetExposure,
-	}
+	)
+	base := len(dst)
 	if miss[AttrTexture] {
-		v[8] = data.Missing
+		v[base+8] = data.Missing
 	}
 	if miss[AttrRoughness] {
-		v[9] = data.Missing
+		v[base+9] = data.Missing
 	}
 	if miss[AttrRutting] {
-		v[10] = data.Missing
+		v[base+10] = data.Missing
 	}
 	if miss[AttrDeflection] {
-		v[11] = data.Missing
+		v[base+11] = data.Missing
 	}
 	return v
 }

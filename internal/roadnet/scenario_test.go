@@ -1,0 +1,212 @@
+package roadnet
+
+import (
+	"io"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+// drainScenario collects every row of a scenario stream.
+func drainScenario(t *testing.T, s *ScenarioStream) [][]float64 {
+	t.Helper()
+	var rows [][]float64
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := make([]float64, len(b.Attrs()))
+			for j := range row {
+				row[j] = b.At(i, j)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func TestScenarioStreamShapeAndDeterminism(t *testing.T) {
+	opt := DefaultScenarioOptions(103) // not a multiple of chunk or years
+	opt.ChunkSize = 16
+	opt.Seed = 7
+	s1, err := NewScenarioStream(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Attrs()) != 18 || s1.Attrs()[0].Name != AttrSegmentID {
+		t.Fatalf("schema = %v", s1.Attrs())
+	}
+	rows := drainScenario(t, s1)
+	if len(rows) != 103 {
+		t.Fatalf("emitted %d rows, want 103", len(rows))
+	}
+	// Same seed, same rows; different seed, different rows.
+	s2, _ := NewScenarioStream(opt)
+	rows2 := drainScenario(t, s2)
+	for i := range rows {
+		for j := range rows[i] {
+			a, b := rows[i][j], rows2[i][j]
+			if data.IsMissing(a) != data.IsMissing(b) || (!data.IsMissing(a) && a != b) {
+				t.Fatalf("row %d col %d not deterministic: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	opt.Seed = 8
+	s3, _ := NewScenarioStream(opt)
+	rows3 := drainScenario(t, s3)
+	diff := false
+	for i := range rows {
+		if rows[i][1] != rows3[i][1] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical AADT columns")
+	}
+}
+
+func TestScenarioStreamSegmentYearStructure(t *testing.T) {
+	opt := DefaultScenarioOptions(40)
+	opt.ChunkSize = 7
+	rows := drainScenario(t, mustScenario(t, opt))
+	idCol, yearCol, countCol := 0, 15, 17
+	for i, row := range rows {
+		wantID := float64(i / opt.Years)
+		wantYear := float64(opt.FirstYear + i%opt.Years)
+		if row[idCol] != wantID || row[yearCol] != wantYear {
+			t.Fatalf("row %d: segment %v year %v, want %v %v", i, row[idCol], row[yearCol], wantID, wantYear)
+		}
+		// All year rows of one segment carry the same 4-year crash count.
+		if row[countCol] != rows[(i/opt.Years)*opt.Years][countCol] {
+			t.Fatalf("row %d: crash count differs within segment", i)
+		}
+	}
+}
+
+func mustScenario(t *testing.T, opt ScenarioOptions) *ScenarioStream {
+	t.Helper()
+	s, err := NewScenarioStream(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScenarioStreamWeatherRegimes(t *testing.T) {
+	wetCol := 16
+	count := func(rows [][]float64) (wet, dry int) {
+		for _, row := range rows {
+			if row[wetCol] == 1 {
+				wet++
+			} else {
+				dry++
+			}
+		}
+		return
+	}
+	opt := DefaultScenarioOptions(400)
+	opt.Weather = WeatherWet
+	wet, dry := count(drainScenario(t, mustScenario(t, opt)))
+	if dry != 0 || wet != 400 {
+		t.Fatalf("wet regime: %d wet, %d dry", wet, dry)
+	}
+	opt.Weather = WeatherDry
+	wet, dry = count(drainScenario(t, mustScenario(t, opt)))
+	if wet != 0 {
+		t.Fatalf("dry regime: %d wet", wet)
+	}
+	opt.Weather = WeatherMixed
+	wet, dry = count(drainScenario(t, mustScenario(t, opt)))
+	if wet == 0 || dry == 0 {
+		t.Fatalf("mixed regime degenerate: %d wet, %d dry", wet, dry)
+	}
+}
+
+func TestScenarioStreamMissingRegimes(t *testing.T) {
+	// Aggressive missing-data regime: the deflection column goes dark.
+	opt := DefaultScenarioOptions(400)
+	opt.MissingRates = map[string]float64{AttrDeflection: 1}
+	rows := drainScenario(t, mustScenario(t, opt))
+	deflCol := 11
+	for i, row := range rows {
+		if !data.IsMissing(row[deflCol]) {
+			t.Fatalf("row %d: deflection %v under a rate-1 missing regime", i, row[deflCol])
+		}
+	}
+	// Empty map disables injection entirely.
+	opt.MissingRates = map[string]float64{}
+	rows = drainScenario(t, mustScenario(t, opt))
+	for i, row := range rows {
+		if data.IsMissing(row[deflCol]) {
+			t.Fatalf("row %d: unexpected missing deflection with injection off", i)
+		}
+	}
+}
+
+func TestScenarioStreamDrift(t *testing.T) {
+	opt := DefaultScenarioOptions(4000)
+	opt.AADTGrowth = 0.5 // exaggerated demand drift
+	rows := drainScenario(t, mustScenario(t, opt))
+	var first, last float64
+	n := 0.0
+	for i, row := range rows {
+		if i%opt.Years == 0 {
+			first += row[1]
+			n++
+		}
+		if i%opt.Years == opt.Years-1 {
+			last += row[1]
+		}
+	}
+	if last/n < 1.5*(first/n) {
+		t.Fatalf("AADT drift too small: first-year mean %.0f, last-year mean %.0f", first/n, last/n)
+	}
+}
+
+func TestScenarioStreamOptionErrors(t *testing.T) {
+	bad := []ScenarioOptions{
+		{Rows: 0, Years: 4},
+		{Rows: 10, Years: 0},
+		{Rows: 10, Years: 4, Weather: Weather(9)},
+	}
+	for i, opt := range bad {
+		if _, err := NewScenarioStream(opt); err == nil {
+			t.Errorf("case %d: expected an option error", i)
+		}
+	}
+	if _, err := WeatherFromString("sleet"); err == nil {
+		t.Error("expected an unknown-weather error")
+	}
+	for _, name := range []string{"mixed", "wet", "dry"} {
+		w, err := WeatherFromString(name)
+		if err != nil || w.String() != name {
+			t.Errorf("weather %q round-trip failed: %v %v", name, w, err)
+		}
+	}
+}
+
+// TestScenarioStreamMapsIntoStudySchema checks the emitted rows are
+// schema-compatible with datasets the study extraction produces: same
+// attribute names and kinds, nominal levels drawn from the surface set.
+func TestScenarioStreamMapsIntoStudySchema(t *testing.T) {
+	s := mustScenario(t, DefaultScenarioOptions(20))
+	study := newSchema("study").Build()
+	for j, a := range s.Attrs() {
+		if study.Attr(j).Name != a.Name || study.Attr(j).Kind != a.Kind {
+			t.Fatalf("column %d: scenario %v vs study %v", j, a, study.Attr(j))
+		}
+	}
+	rows := drainScenario(t, s)
+	surfCol := 5
+	for i, row := range rows {
+		if v := row[surfCol]; !data.IsMissing(v) && (v < 0 || int(v) >= len(surfaceNames)) {
+			t.Fatalf("row %d: surface level %v out of range", i, v)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 // SurfaceType enumerates seal types in the synthetic network.
 type SurfaceType int
 
+// The seal types the synthetic network draws from.
 const (
 	Asphalt SurfaceType = iota
 	SpraySeal

@@ -1,8 +1,10 @@
-// Package serve turns persisted model artifacts into the batch scoring
-// service the paper's deployment stage calls for: an in-memory model
-// registry fed from an artifact directory, fronted by an HTTP JSON API
-// (POST /score, GET /models, GET /healthz). Loaded models are immutable,
-// so any number of requests can score against one registry concurrently.
+// Package serve turns persisted model artifacts into the scoring service
+// the paper's deployment stage calls for: an in-memory model registry fed
+// from an artifact directory, fronted by an HTTP JSON API. POST /score
+// answers bounded batches, POST /score/stream scores NDJSON feeds of any
+// length in constant memory, and GET /models and GET /healthz report the
+// registry. Loaded models are immutable, so any number of requests can
+// score against one registry concurrently.
 package serve
 
 import (

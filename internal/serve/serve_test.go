@@ -285,6 +285,175 @@ func TestRegistryRollover(t *testing.T) {
 	wg.Wait()
 }
 
+// postStream sends NDJSON lines to /score/stream and splits the NDJSON
+// response into scores and the trailer.
+func postStream(t *testing.T, url, model, body string) (*http.Response, []StreamScore, StreamTrailer) {
+	t.Helper()
+	resp, err := http.Post(url+"/score/stream?model="+model, "application/x-ndjson", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var scores []StreamScore
+	var trailer StreamTrailer
+	sawTrailer := false
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var raw map[string]any
+		if err := dec.Decode(&raw); err != nil {
+			t.Fatalf("bad stream line: %v", err)
+		}
+		if sawTrailer {
+			t.Fatalf("line after the trailer: %v", raw)
+		}
+		if _, isTrailer := raw["done"]; isTrailer {
+			b, _ := json.Marshal(raw)
+			if err := json.Unmarshal(b, &trailer); err != nil {
+				t.Fatal(err)
+			}
+			sawTrailer = true
+			continue
+		}
+		b, _ := json.Marshal(raw)
+		var s StreamScore
+		if err := json.Unmarshal(b, &s); err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, s)
+	}
+	if resp.StatusCode == http.StatusOK && !sawTrailer {
+		t.Fatal("stream ended without a trailer")
+	}
+	return resp, scores, trailer
+}
+
+// TestScoreStreamMatchesBatch pins the streaming endpoint to the batch
+// endpoint: the same rows through POST /score/stream and POST /score must
+// score identically, and the stream must close with a done trailer.
+func TestScoreStreamMatchesBatch(t *testing.T) {
+	srv, _ := newTestServer(t)
+	segments := []map[string]any{
+		{"aadt": 3000.0, "surface": "gravel"},
+		{"aadt": 800.0, "surface": "seal"},
+		{"aadt": 1900.0},
+		{"aadt": 2600.0, "surface": "granite"}, // unseen level -> missing
+	}
+	var ndjson bytes.Buffer
+	for _, seg := range segments {
+		raw, err := json.Marshal(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndjson.Write(raw)
+		ndjson.WriteByte('\n')
+	}
+	resp, scores, trailer := postStream(t, srv.URL, "cp-8-tree", ndjson.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !trailer.Done || trailer.Rows != len(segments) || trailer.Error != "" {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+
+	bresp, body := postScore(t, srv.URL, ScoreRequest{Model: "cp-8-tree", Segments: segments})
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", bresp.StatusCode, body)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(sr.Scores) {
+		t.Fatalf("stream scored %d rows, batch %d", len(scores), len(sr.Scores))
+	}
+	for i := range scores {
+		if scores[i].Risk != sr.Scores[i].Risk || scores[i].CrashProne != sr.Scores[i].CrashProne {
+			t.Errorf("row %d: stream %+v, batch %+v", i, scores[i], sr.Scores[i])
+		}
+	}
+}
+
+// TestScoreStreamNoBatchCap sends streams of several sizes, including
+// more rows than the batch endpoint's MaxBatch. The sizes are chosen to
+// straddle net/http's body-handling regimes: a multi-chunk stream with
+// under 256KiB unread at the first flush (3000 rows) only survives
+// because streamScores enables full-duplex mode — without it the server
+// discards and closes the unread body at the first response write.
+func TestScoreStreamNoBatchCap(t *testing.T) {
+	srv, dt := newTestServer(t)
+	want := dt.PredictProb([]float64{500, 0, data.Missing})
+	for _, n := range []int{3000, MaxBatch + 500} {
+		var ndjson bytes.Buffer
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&ndjson, "{\"aadt\": %d, \"surface\": \"seal\"}\n", 500+i%4000)
+		}
+		resp, scores, trailer := postStream(t, srv.URL, "cp-8-tree", ndjson.String())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("n=%d: status = %d", n, resp.StatusCode)
+		}
+		if !trailer.Done || trailer.Rows != n || len(scores) != n {
+			t.Fatalf("n=%d: trailer = %+v with %d scores", n, trailer, len(scores))
+		}
+		if scores[0].Risk != want {
+			t.Fatalf("n=%d: row 0 risk %v, in-process %v", n, scores[0].Risk, want)
+		}
+	}
+}
+
+func TestScoreStreamErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Pre-stream failures report proper HTTP statuses.
+	resp, err := http.Post(srv.URL+"/score/stream", "application/x-ndjson", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing model: status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/score/stream?model=nope", "application/x-ndjson", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown model: status = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/score/stream?model=cp-8-tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status = %d, want 405", resp.StatusCode)
+	}
+
+	// Mid-stream failures surface in the trailer: the trailer is not done
+	// and names the row (chunks before the failing one are already scored
+	// and flushed).
+	in := "{\"aadt\": 900}\n{\"aatd\": 1}\n{\"aadt\": 1000}\n"
+	sresp, scores, trailer := postStream(t, srv.URL, "cp-8-tree", in)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", sresp.StatusCode)
+	}
+	if trailer.Done || trailer.Error == "" {
+		t.Fatalf("trailer = %+v, want a row error", trailer)
+	}
+	if len(scores) > 1 {
+		t.Fatalf("scored %d rows past the bad line", len(scores))
+	}
+
+	// An empty stream is a valid zero-row stream.
+	_, scores, trailer = postStream(t, srv.URL, "cp-8-tree", "")
+	if !trailer.Done || trailer.Rows != 0 || len(scores) != 0 {
+		t.Fatalf("empty stream trailer = %+v, %d scores", trailer, len(scores))
+	}
+}
+
 func TestLoadDirErrors(t *testing.T) {
 	reg := NewRegistry()
 	if _, err := reg.LoadDir(t.TempDir()); err == nil {

@@ -6,16 +6,26 @@ import (
 	"net/http"
 
 	"roadcrash/internal/artifact"
+	"roadcrash/internal/data"
 )
 
 // MaxBatch bounds the segments accepted by one /score call so a single
-// request cannot hold a worker for unbounded time; split larger batches
-// across requests.
+// request cannot hold a worker for unbounded time. Larger workloads belong
+// on POST /score/stream, which has no row cap because it never buffers the
+// batch.
 const MaxBatch = 10000
 
 // maxBodyBytes caps request bodies (64 MiB comfortably fits MaxBatch
-// fully-populated segments).
+// fully-populated segments). It applies to the batch endpoint only; the
+// streaming endpoint reads its body incrementally and is bounded per line
+// instead.
 const maxBodyBytes = 64 << 20
+
+// streamChunkSize is the row-batch size of the streaming endpoint: scores
+// are computed and flushed to the client in chunks of this many rows, so
+// response memory stays bounded and slow readers exert backpressure on the
+// request body through the unread socket.
+const streamChunkSize = 1024
 
 // ScoreRequest is the POST /score body: one named model and a batch of
 // segments, each a map of attribute name -> value. Values follow the
@@ -46,6 +56,22 @@ type ModelInfo struct {
 	Threshold int                `json:"threshold"`
 	Seed      uint64             `json:"seed"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// StreamScore is one POST /score/stream output line, carrying the score of
+// the input row at the same position in the stream.
+type StreamScore struct {
+	Risk       float64 `json:"risk"`
+	CrashProne bool    `json:"crash_prone"`
+}
+
+// StreamTrailer is the final POST /score/stream line. Clients must treat a
+// stream without a trailer as truncated; a trailer with a non-empty Error
+// reports the row that aborted the stream.
+type StreamTrailer struct {
+	Done  bool   `json:"done"`
+	Rows  int    `json:"rows"`
+	Error string `json:"error,omitempty"`
 }
 
 type errorResponse struct {
@@ -126,7 +152,70 @@ func NewServer(reg *Registry) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("/score/stream", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		name := req.URL.Query().Get("model")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, "missing model query parameter")
+			return
+		}
+		m, ok := reg.Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+			return
+		}
+		streamScores(w, m, req)
+	})
 	return mux
+}
+
+// streamScores runs the out-of-core scoring path over an NDJSON request
+// body: rows are parsed, mapped and scored in chunks of streamChunkSize
+// and each chunk's scores are flushed before the next is read, so neither
+// the request nor the response is ever materialized. The response is NDJSON
+// too — one StreamScore line per input row, in order, closed by a
+// StreamTrailer. Errors after the first flush cannot change the HTTP
+// status, so they are reported in the trailer.
+func streamScores(w http.ResponseWriter, m *Model, req *http.Request) {
+	// The handler keeps reading the request body after it starts writing
+	// the response. Without full-duplex mode the HTTP/1.x server discards
+	// and closes the unread body at the first write, truncating any
+	// stream with under ~256KiB left to read; HTTP/2 is duplex natively,
+	// so an ErrNotSupported here is fine to ignore.
+	http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	br := data.NewNDJSONBatchReader(req.Body, m.Mapper.Attrs(), streamChunkSize)
+	bs := artifact.NewBatchScorerFor(m.Scorer, m.Mapper)
+	rows, err := bs.ScoreAll(br, func(b *data.Batch, scores []float64) error {
+		// Validate the whole chunk before emitting any of it, so the
+		// trailer's row count always equals the score lines the client
+		// received — a chunk either streams completely or not at all.
+		if !artifact.Finite(scores) {
+			return fmt.Errorf("model produced a non-finite score")
+		}
+		for _, risk := range scores {
+			if err := enc.Encode(StreamScore{Risk: risk, CrashProne: risk >= 0.5}); err != nil {
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	trailer := StreamTrailer{Done: err == nil, Rows: rows}
+	if err != nil {
+		trailer.Error = err.Error()
+	}
+	enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,165 @@
+package roadcrash
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/core"
+	"roadcrash/internal/data"
+	"roadcrash/internal/roadnet"
+)
+
+var (
+	smallOnce sync.Once
+	smallS    *core.Study
+	smallErr  error
+)
+
+// smallStudy builds the small-scale study once for the streaming tests.
+func smallStudy(t *testing.T) *core.Study {
+	t.Helper()
+	smallOnce.Do(func() {
+		smallS, smallErr = core.NewStudy(core.SmallConfig())
+	})
+	if smallErr != nil {
+		t.Fatal(smallErr)
+	}
+	return smallS
+}
+
+// exportSmallArtifact trains the study's decision tree at the paper's
+// selected threshold on the small-scale data.
+func exportSmallArtifact(t *testing.T, phase int) *artifact.Artifact {
+	t.Helper()
+	a, err := smallStudy(t).ExportArtifact(core.ExportOptions{Phase: phase, Threshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestChunkedScoringBitIdenticalToInMemory is the tentpole's acceptance
+// pin: scoring the golden small-scale study datasets through the chunked
+// CSV reader and batch scorer yields bit-identical results to the
+// in-memory ReadCSV + MapDataset + Score path, for every chunk size.
+func TestChunkedScoringBitIdenticalToInMemory(t *testing.T) {
+	study := smallStudy(t)
+	for _, tc := range []struct {
+		name  string
+		phase int
+		ds    *data.Dataset
+	}{
+		{"crash-only", 2, study.CrashOnlyDataset()},
+		{"combined", 1, study.CombinedDataset()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := exportSmallArtifact(t, tc.phase)
+			var buf bytes.Buffer
+			if err := tc.ds.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			text := buf.String()
+
+			// In-memory path.
+			back, err := data.ReadCSV(tc.name, strings.NewReader(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scorer, err := a.Model()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapper, err := artifact.NewRowMapper(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := mapper.MapDataset(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := artifact.Score(scorer, rows)
+
+			// Chunked path, several chunk sizes including ragged finals.
+			for _, chunk := range []int{1, 97, 1024, 1 << 20} {
+				br, err := data.NewCSVBatchReader(strings.NewReader(text), chunk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bs, err := artifact.NewBatchScorer(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]float64, 0, len(want))
+				n, err := bs.ScoreAll(br, func(b *data.Batch, scores []float64) error {
+					got = append(got, scores...)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(want) {
+					t.Fatalf("chunk=%d: scored %d rows, want %d", chunk, n, len(want))
+				}
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("chunk=%d row %d: chunked %v, in-memory %v", chunk, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// scoreScenario streams n generated rows through the batch scorer and
+// returns the scored row count.
+func scoreScenario(tb testing.TB, a *artifact.Artifact, n, chunk int) int {
+	tb.Helper()
+	opt := roadnet.DefaultScenarioOptions(n)
+	opt.ChunkSize = chunk
+	stream, err := roadnet.NewScenarioStream(opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bs, err := artifact.NewBatchScorer(a)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	total, err := bs.ScoreAll(stream, func(b *data.Batch, scores []float64) error {
+		for _, s := range scores {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return errBadScore
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return total
+}
+
+var errBadScore = errBadScoreT{}
+
+type errBadScoreT struct{}
+
+func (errBadScoreT) Error() string { return "score outside [0,1]" }
+
+// TestStreamScoreConstantAllocs pins the constant-memory claim: growing
+// the generated feed 10x must not grow the allocation count, because the
+// whole pipeline — scenario stream, batches, scorer — reuses its buffers
+// after setup.
+func TestStreamScoreConstantAllocs(t *testing.T) {
+	a := exportSmallArtifact(t, 2)
+	small := testing.AllocsPerRun(1, func() { scoreScenario(t, a, 20000, 1024) })
+	large := testing.AllocsPerRun(1, func() { scoreScenario(t, a, 200000, 1024) })
+	t.Logf("allocs: 20k rows = %.0f, 200k rows = %.0f", small, large)
+	// Identical setup allocations dominate both runs; allow slack for
+	// incidental runtime allocations but reject anything per-row.
+	if large > small+200 {
+		t.Fatalf("allocations scale with row count: %.0f at 20k rows vs %.0f at 200k", small, large)
+	}
+}
