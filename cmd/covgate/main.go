@@ -1,0 +1,152 @@
+// Command covgate is the coverage ratchet: it measures statement coverage
+// for every internal package and fails if any package has dropped below
+// its recorded floor, so test coverage can only move up across PRs. It is
+// a CI gate.
+//
+//	go run ./cmd/covgate           # enforce the floors
+//	go run ./cmd/covgate -update   # re-derive floors from current coverage
+//
+// Floors live in coverage_floors.json at the repository root: package
+// import path -> minimum acceptable percentage. -update sets each floor
+// half a point below the measured value (rounded to one decimal), leaving
+// headroom for the minor run-to-run jitter of concurrency-dependent
+// tests while still catching any real regression. A package missing from
+// the floors file fails the gate — new internal packages must ratchet in
+// (run -update in the same PR that adds them).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+const floorsFile = "coverage_floors.json"
+
+var (
+	coverLine = regexp.MustCompile(`^(ok|FAIL)\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+	// A package with no test files still ratchets in — at 0% — so adding
+	// an untested internal package fails the gate instead of slipping past
+	// it unmeasured.
+	noTestLine = regexp.MustCompile(`^\?\s+(\S+)\s+\[no test files\]`)
+)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite "+floorsFile+" from current coverage")
+	flag.Parse()
+	if err := run(*update); err != nil {
+		fmt.Fprintf(os.Stderr, "covgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(update bool) error {
+	measured, err := measure()
+	if err != nil {
+		return err
+	}
+	if update {
+		return writeFloors(measured)
+	}
+	return enforce(measured)
+}
+
+// measure runs the internal test suites with coverage and parses the
+// per-package percentages.
+func measure() (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-count=1", "-cover", "./internal/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test failed:\n%s", out)
+	}
+	measured := make(map[string]float64)
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(out), -1) {
+		if m := noTestLine.FindStringSubmatch(line); m != nil {
+			measured[m[1]] = 0
+			continue
+		}
+		m := coverLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		pct, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing coverage line %q: %w", line, err)
+		}
+		measured[m[2]] = pct
+	}
+	if len(measured) == 0 {
+		return nil, fmt.Errorf("no coverage lines in go test output — did the output format change?\n%s", out)
+	}
+	return measured, nil
+}
+
+func writeFloors(measured map[string]float64) error {
+	floors := make(map[string]float64, len(measured))
+	for pkg, pct := range measured {
+		floor := math.Floor((pct-0.5)*10) / 10
+		if floor < 0 {
+			floor = 0
+		}
+		floors[pkg] = floor
+	}
+	raw, err := json.MarshalIndent(floors, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(floorsFile, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("covgate: wrote %d floors to %s\n", len(floors), floorsFile)
+	return nil
+}
+
+func enforce(measured map[string]float64) error {
+	raw, err := os.ReadFile(floorsFile)
+	if err != nil {
+		return fmt.Errorf("%w (run `go run ./cmd/covgate -update` to create it)", err)
+	}
+	var floors map[string]float64
+	if err := json.Unmarshal(raw, &floors); err != nil {
+		return fmt.Errorf("parsing %s: %w", floorsFile, err)
+	}
+	pkgs := make([]string, 0, len(measured))
+	for pkg := range measured {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	failures := 0
+	for _, pkg := range pkgs {
+		pct := measured[pkg]
+		floor, ok := floors[pkg]
+		if !ok {
+			fmt.Printf("FAIL  %-45s %5.1f%%  (no floor recorded — run covgate -update)\n", pkg, pct)
+			failures++
+			continue
+		}
+		status := "ok  "
+		if pct < floor {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s  %-45s %5.1f%%  (floor %.1f%%)\n", status, pkg, pct, floor)
+	}
+	for pkg := range floors {
+		if _, ok := measured[pkg]; !ok {
+			fmt.Printf("FAIL  %-45s  gone  (floored package no longer reports coverage)\n", pkg)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d package(s) below their coverage floor", failures)
+	}
+	fmt.Println("covgate: all packages at or above their floors")
+	return nil
+}

@@ -13,6 +13,7 @@
 //	crashprone score -model m.json -in segs.csv  # stream-score a CSV
 //	crashprone simulate -rows 1000000 | crashprone score -model m.json -format ndjson
 //	crashprone serve -dir ./models -addr :8080   # HTTP scoring service
+//	crashprone loadgen -addr http://localhost:8080 -duration 10s  # load test
 //
 // Study subcommands accept -scale small|paper and -seed N. score and
 // simulate stream row chunks (stdin/stdout when -in/-out are omitted), so
@@ -23,18 +24,23 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
+	"time"
 
 	"roadcrash/internal/artifact"
 	"roadcrash/internal/core"
 	"roadcrash/internal/crisp"
 	"roadcrash/internal/data"
+	"roadcrash/internal/loadgen"
 	"roadcrash/internal/mining/tree"
 	"roadcrash/internal/roadnet"
 	"roadcrash/internal/serve"
@@ -70,6 +76,8 @@ func main() {
 		err = cmdSimulate(args)
 	case "serve":
 		err = cmdServe(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -102,7 +110,10 @@ model commands (see docs/SERVING.md and docs/DATA.md):
              against an artifact, in constant memory
   simulate   stream synthetic segment-year rows for load testing
   serve      serve artifacts over the HTTP scoring API
-             (POST /score, POST /score/stream, GET /models, GET /healthz)`)
+             (POST /score, POST /score/stream, GET /models, GET /healthz,
+             GET /metrics, POST /reload)
+  loadgen    drive a running service with scenario traffic and report
+             throughput, latency quantiles and error rates as JSON`)
 }
 
 // studyFlags wires the shared -scale and -seed flags into fs.
@@ -501,11 +512,19 @@ func cmdServe(args []string) error {
 	dir := fs.String("dir", "", "directory of model artifacts (*.json)")
 	model := fs.String("model", "", "single artifact to serve (alternative to -dir)")
 	addr := fs.String("addr", ":8080", "listen address")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent scoring requests admitted before 429 (0 = default 256)")
+	timeout := fs.Duration("timeout", 0, "/score request deadline (0 = default 30s)")
+	streamTimeout := fs.Duration("stream-timeout", 0, "/score/stream per-chunk deadline (0 = default 30s)")
+	drain := fs.Duration("drain", 30*time.Second, "in-flight drain window on shutdown")
+	reload := fs.Bool("reload", false, "enable POST /reload to hot-swap the model set from -dir")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*dir == "") == (*model == "") {
 		return fmt.Errorf("serve: exactly one of -dir or -model is required")
+	}
+	if *reload && *dir == "" {
+		return fmt.Errorf("serve: -reload requires -dir")
 	}
 	reg := serve.NewRegistry()
 	if *dir != "" {
@@ -523,8 +542,78 @@ func cmdServe(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "loaded model %q\n", m.Artifact.Name)
 	}
-	fmt.Fprintf(os.Stderr, "serving %d model(s) on %s (POST /score, GET /models, GET /healthz)\n", reg.Len(), *addr)
-	return http.ListenAndServe(*addr, serve.NewServer(reg))
+	cfg := serve.Config{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		StreamTimeout:  *streamTimeout,
+	}
+	if *reload {
+		cfg.ReloadDir = *dir
+	}
+	// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes at
+	// once, in-flight requests (including streams) drain for up to -drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "serving %d model(s) on %s (POST /score, POST /score/stream, GET /models, GET /healthz, GET /metrics)\n", reg.Len(), *addr)
+	return serve.Run(ctx, *addr, serve.New(reg, cfg), *drain)
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the scoring service")
+	model := fs.String("model", "", "model to drive (default: first model the service lists)")
+	mode := fs.String("mode", "mixed", "endpoints to drive: batch, stream or mixed")
+	concurrency := fs.Int("concurrency", 8, "concurrent request workers")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	batchRows := fs.Int("batch-rows", 256, "segments per /score request")
+	streamRows := fs.Int("stream-rows", 4096, "rows per /score/stream request")
+	seed := fs.Uint64("seed", 0, "scenario traffic seed (0 keeps the default)")
+	weather := fs.String("weather", "mixed", "weather regime of the traffic: mixed, wet or dry")
+	out := fs.String("out", "", "JSON report path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := loadgen.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	w, err := roadnet.WeatherFromString(*weather)
+	if err != nil {
+		return err
+	}
+	opt := loadgen.Options{
+		BaseURL:     *addr,
+		Model:       *model,
+		Mode:        m,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		BatchRows:   *batchRows,
+		StreamRows:  *streamRows,
+		Seed:        *seed,
+		Weather:     w,
+	}
+	// Ctrl-C ends the run early; the report covers what completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, opt)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(raw)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d rows in %.1fs (%.0f rows/s) against %q\n",
+		rep.TotalRows, rep.DurationSeconds, rep.TotalRowsPerSec, rep.Model)
+	return nil
 }
 
 func cmdRules(args []string) error {

@@ -80,6 +80,12 @@ func run() error {
 	for _, raw := range commands {
 		cmd := normalize(raw, bin, scratch)
 		fmt.Printf("== %s\n", raw)
+		if strings.Contains(cmd, " loadgen ") {
+			if err := smokeLoadgen(bin, cmd, scratch); err != nil {
+				return fmt.Errorf("%q: %w", raw, err)
+			}
+			continue
+		}
 		if strings.Contains(cmd, " serve ") {
 			if err := smokeServe(cmd, scratch); err != nil {
 				return fmt.Errorf("%q: %w", raw, err)
@@ -177,7 +183,11 @@ func normalize(cmd, bin, scratch string) string {
 	cmd = addrFlag.ReplaceAllString(cmd, "-addr "+servePort)
 
 	// Force small scale on every pipeline stage that supports it, and pin
-	// serve commands to the loopback smoke port.
+	// serve and loadgen commands to the loopback smoke port. Loadgen runs
+	// are cut to a short, low-concurrency burst — the smoke proves the
+	// documented workflow runs, not its throughput (a later duplicate flag
+	// wins in the flag package, so appending overrides the documented
+	// values).
 	var stages []string
 	for _, stage := range strings.Split(cmd, "|") {
 		fields := strings.Fields(stage)
@@ -187,6 +197,9 @@ func normalize(cmd, bin, scratch string) string {
 			}
 			if fields[1] == "serve" && !strings.Contains(stage, "-addr") {
 				stage += " -addr " + servePort
+			}
+			if fields[1] == "loadgen" {
+				stage += " -addr http://" + servePort + " -duration 2s -concurrency 2 -stream-rows 1024"
 			}
 		}
 		stages = append(stages, strings.TrimSpace(stage))
@@ -241,22 +254,10 @@ func smokeServe(cmd, dir string) error {
 		syscall.Kill(-c.Process.Pid, syscall.SIGKILL)
 		c.Wait()
 	}()
-	base := "http://" + servePort
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		resp, err := http.Get(base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				break
-			}
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("server never became healthy on %s: %v", servePort, err)
-		}
-		time.Sleep(200 * time.Millisecond)
+	if err := waitHealthy(); err != nil {
+		return err
 	}
-	resp, err := http.Get(base + "/models")
+	resp, err := http.Get("http://" + servePort + "/models")
 	if err != nil {
 		return fmt.Errorf("GET /models: %w", err)
 	}
@@ -265,4 +266,43 @@ func smokeServe(cmd, dir string) error {
 		return fmt.Errorf("GET /models: status %d", resp.StatusCode)
 	}
 	return nil
+}
+
+// smokeLoadgen runs a documented loadgen command against a scoring server
+// it starts on the smoke port (serving the prologue's models directory),
+// so documented load-test workflows are exercised end to end at small
+// scale.
+func smokeLoadgen(bin, cmd, dir string) error {
+	srv := exec.Command(bin, "serve", "-dir", "models", "-addr", servePort)
+	srv.Dir = dir
+	srv.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		syscall.Kill(-srv.Process.Pid, syscall.SIGKILL)
+		srv.Wait()
+	}()
+	if err := waitHealthy(); err != nil {
+		return err
+	}
+	return sh(cmd, dir, 5*time.Minute)
+}
+
+// waitHealthy polls the smoke port until /healthz answers 200.
+func waitHealthy() error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + servePort + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server never became healthy on %s: %v", servePort, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }

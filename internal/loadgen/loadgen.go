@@ -1,0 +1,527 @@
+// Package loadgen is the scenario-driven load generator for the scoring
+// service: it drives POST /score and POST /score/stream with synthetic
+// segment-year traffic from roadnet.ScenarioStream at a target
+// concurrency for a fixed duration, and reports throughput, latency
+// quantiles and error rates. It is the measuring half of the serving
+// story — the server enforces admission control and deadlines, loadgen
+// quantifies what the deployment sustains (and counts 429 rejections
+// separately, so capacity experiments read directly off the report).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/roadnet"
+)
+
+// Mode selects which endpoints a run drives.
+type Mode string
+
+const (
+	// ModeBatch drives POST /score only.
+	ModeBatch Mode = "batch"
+	// ModeStream drives POST /score/stream only.
+	ModeStream Mode = "stream"
+	// ModeMixed alternates batch and stream requests per worker.
+	ModeMixed Mode = "mixed"
+)
+
+// ParseMode validates a -mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeBatch, ModeStream, ModeMixed:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("loadgen: unknown mode %q (want batch, stream or mixed)", s)
+}
+
+// Options configures a load run. Zero fields select defaults.
+type Options struct {
+	// BaseURL locates the service, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Model names the model to drive; empty picks the first model the
+	// service lists.
+	Model string
+	// Mode selects the endpoints (default ModeMixed).
+	Mode Mode
+	// Concurrency is the number of request workers (default 8).
+	Concurrency int
+	// Duration bounds the run (default 10s).
+	Duration time.Duration
+	// BatchRows is the segment count per /score request (default 256).
+	BatchRows int
+	// StreamRows is the row count per /score/stream request (default 4096).
+	StreamRows int
+	// Seed makes the synthetic traffic deterministic per worker.
+	Seed uint64
+	// Weather selects the scenario regime of the generated rows.
+	Weather roadnet.Weather
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = ModeMixed
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.BatchRows <= 0 {
+		o.BatchRows = 256
+	}
+	if o.StreamRows <= 0 {
+		o.StreamRows = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 20110322
+	}
+	return o
+}
+
+// LatencySummary is a latency distribution in milliseconds, quantiles
+// computed exactly from the recorded per-request samples. Only successful
+// requests contribute: pooling sub-millisecond 429 rejections with
+// multi-second served streams would make a capacity run's p50 meaningless.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// EndpointReport aggregates one endpoint's results.
+type EndpointReport struct {
+	Requests          int            `json:"requests"`
+	Errors            int            `json:"errors"`
+	StatusCounts      map[string]int `json:"status_counts"`
+	Rejected429       int            `json:"rejected_429"`
+	RowsScored        int64          `json:"rows_scored"`
+	RequestsPerSecond float64        `json:"requests_per_second"`
+	RowsPerSecond     float64        `json:"rows_per_second"`
+	LatencyMS         LatencySummary `json:"latency_ms"`
+}
+
+// Report is the JSON result of a load run.
+type Report struct {
+	Target          string          `json:"target"`
+	Model           string          `json:"model"`
+	Mode            Mode            `json:"mode"`
+	Concurrency     int             `json:"concurrency"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	Batch           *EndpointReport `json:"score,omitempty"`
+	Stream          *EndpointReport `json:"score_stream,omitempty"`
+	TotalRows       int64           `json:"total_rows_scored"`
+	TotalRowsPerSec float64         `json:"total_rows_per_second"`
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint string // "score" or "stream"
+	status   string // HTTP status code, "transport" or "truncated"
+	latency  time.Duration
+	rows     int64
+	ok       bool
+	// aborted marks a request cut off by the run deadline itself; such
+	// samples are dropped — a shutdown artifact is not a service error.
+	aborted bool
+}
+
+// Run executes the load run and aggregates the report. Request failures
+// (transport errors, non-200 statuses, truncated streams) are counted,
+// not fatal — error rates are part of the measurement. Run itself fails
+// only when the service cannot be interrogated at all or the options are
+// invalid.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	model, sendNames, err := resolveModel(ctx, opt.BaseURL, opt.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
+	defer cancel()
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker(runCtx, opt, model, sendNames, w, func(s sample) {
+				if s.aborted {
+					return
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			})
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := &Report{
+		Target: opt.BaseURL, Model: model, Mode: opt.Mode,
+		Concurrency: opt.Concurrency, DurationSeconds: elapsed,
+	}
+	if opt.Mode == ModeBatch || opt.Mode == ModeMixed {
+		rep.Batch = summarize(samples, "score", elapsed)
+	}
+	if opt.Mode == ModeStream || opt.Mode == ModeMixed {
+		rep.Stream = summarize(samples, "stream", elapsed)
+	}
+	for _, er := range []*EndpointReport{rep.Batch, rep.Stream} {
+		if er != nil {
+			rep.TotalRows += er.RowsScored
+		}
+	}
+	if elapsed > 0 {
+		rep.TotalRowsPerSec = float64(rep.TotalRows) / elapsed
+	}
+	return rep, nil
+}
+
+// resolveModel asks GET /models for the target model's schema and returns
+// the model name plus the attribute names a scoring payload may carry
+// (the training schema minus the target, which clients never send).
+func resolveModel(ctx context.Context, baseURL, want string) (string, map[string]bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/models", nil)
+	if err != nil {
+		return "", nil, fmt.Errorf("loadgen: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", nil, fmt.Errorf("loadgen: interrogating %s/models: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, fmt.Errorf("loadgen: GET /models returned %d", resp.StatusCode)
+	}
+	var list struct {
+		Models []struct {
+			Name   string   `json:"name"`
+			Schema []string `json:"schema"`
+			Target string   `json:"target"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return "", nil, fmt.Errorf("loadgen: decoding /models: %w", err)
+	}
+	if len(list.Models) == 0 {
+		return "", nil, fmt.Errorf("loadgen: service has no models")
+	}
+	for _, m := range list.Models {
+		if want != "" && m.Name != want {
+			continue
+		}
+		send := make(map[string]bool, len(m.Schema))
+		for _, name := range m.Schema {
+			if name != m.Target {
+				send[name] = true
+			}
+		}
+		return m.Name, send, nil
+	}
+	return "", nil, fmt.Errorf("loadgen: service does not serve model %q", want)
+}
+
+// worker issues requests until the context expires. Each worker owns
+// deterministic scenario streams (seed + worker index), one per endpoint
+// it drives, chunked at that endpoint's request row count — traffic is
+// reproducible for a given option set.
+func worker(ctx context.Context, opt Options, model string, sendNames map[string]bool, id int, record func(sample)) {
+	mkStream := func(chunk int, seedOffset uint64) *roadnet.ScenarioStream {
+		scn := roadnet.DefaultScenarioOptions(math.MaxInt / 2)
+		scn.ChunkSize = chunk
+		scn.Seed = opt.Seed + seedOffset
+		scn.Weather = opt.Weather
+		stream, err := roadnet.NewScenarioStream(scn)
+		if err != nil {
+			// Options are validated by withDefaults; a failure here is a bug.
+			panic(err)
+		}
+		return stream
+	}
+	var batchSrc, streamSrc *roadnet.ScenarioStream
+	var include []includeColumn
+	if opt.Mode != ModeStream {
+		batchSrc = mkStream(opt.BatchRows, 2*uint64(id))
+		include = includeColumns(batchSrc.Attrs(), sendNames)
+	}
+	if opt.Mode != ModeBatch {
+		streamSrc = mkStream(opt.StreamRows, 2*uint64(id)+1)
+		include = includeColumns(streamSrc.Attrs(), sendNames)
+	}
+
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		useStream := opt.Mode == ModeStream || (opt.Mode == ModeMixed && (id+i)%2 == 1)
+		if useStream {
+			b, err := streamSrc.Next()
+			if err != nil {
+				panic(fmt.Sprintf("loadgen: scenario stream failed: %v", err))
+			}
+			record(streamRequest(ctx, opt.BaseURL, model, b, include))
+		} else {
+			b, err := batchSrc.Next()
+			if err != nil {
+				panic(fmt.Sprintf("loadgen: scenario stream failed: %v", err))
+			}
+			record(batchRequest(ctx, opt.BaseURL, model, b, include))
+		}
+	}
+}
+
+// includeColumn is one scenario column a payload carries.
+type includeColumn struct {
+	col  int
+	attr data.Attribute
+}
+
+// includeColumns resolves which scenario columns the model schema accepts.
+func includeColumns(attrs []data.Attribute, sendNames map[string]bool) []includeColumn {
+	var cols []includeColumn
+	for j, at := range attrs {
+		if sendNames[at.Name] {
+			cols = append(cols, includeColumn{col: j, attr: at})
+		}
+	}
+	return cols
+}
+
+// batchRequest sends one POST /score and measures it end to end.
+func batchRequest(ctx context.Context, baseURL, model string, b *data.Batch, include []includeColumn) sample {
+	segments := make([]map[string]any, b.Len())
+	for i := range segments {
+		seg := make(map[string]any, len(include))
+		for _, ic := range include {
+			v := b.At(i, ic.col)
+			if data.IsMissing(v) {
+				continue
+			}
+			if ic.attr.Kind == data.Nominal {
+				seg[ic.attr.Name] = ic.attr.Levels[int(v)]
+			} else {
+				seg[ic.attr.Name] = v
+			}
+		}
+		segments[i] = seg
+	}
+	body, err := json.Marshal(map[string]any{"model": model, "segments": segments})
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	resp, err := post(ctx, baseURL+"/score", "application/json", body)
+	s := sample{endpoint: "score", status: "transport"}
+	if err != nil {
+		s.latency = time.Since(start)
+		s.aborted = ctx.Err() != nil
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = strconv.Itoa(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.latency = time.Since(start)
+		return s
+	}
+	var sr struct {
+		Scores []json.RawMessage `json:"scores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		s.status = "truncated"
+		s.latency = time.Since(start)
+		s.aborted = ctx.Err() != nil
+		return s
+	}
+	s.latency = time.Since(start)
+	s.rows = int64(len(sr.Scores))
+	s.ok = true
+	return s
+}
+
+// streamRequest sends one POST /score/stream, reads every score line and
+// verifies the done trailer; a missing or failed trailer counts as a
+// truncated request.
+func streamRequest(ctx context.Context, baseURL, model string, b *data.Batch, include []includeColumn) sample {
+	var body bytes.Buffer
+	buf := make([]byte, 0, 256)
+	for i := 0; i < b.Len(); i++ {
+		buf = appendNDJSONRow(buf[:0], b, i, include)
+		body.Write(buf)
+	}
+	start := time.Now()
+	resp, err := post(ctx, baseURL+"/score/stream?model="+model, "application/x-ndjson", body.Bytes())
+	s := sample{endpoint: "stream", status: "transport"}
+	if err != nil {
+		s.latency = time.Since(start)
+		s.aborted = ctx.Err() != nil
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = strconv.Itoa(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.latency = time.Since(start)
+		return s
+	}
+	rows := int64(0)
+	sawTrailer := false
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			Done  *bool  `json:"done"`
+			Rows  int64  `json:"rows"`
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			break
+		}
+		if line.Done != nil {
+			sawTrailer = *line.Done && line.Error == ""
+			rows = line.Rows
+			break
+		}
+		rows++
+	}
+	s.latency = time.Since(start)
+	if !sawTrailer {
+		s.status = "truncated"
+		s.aborted = ctx.Err() != nil
+		return s
+	}
+	s.rows = rows
+	s.ok = true
+	return s
+}
+
+// appendNDJSONRow renders one scenario row as an NDJSON object carrying
+// only the model's attributes (missing values omitted, nominal values as
+// level names).
+func appendNDJSONRow(buf []byte, b *data.Batch, i int, include []includeColumn) []byte {
+	buf = append(buf, '{')
+	first := true
+	for _, ic := range include {
+		v := b.At(i, ic.col)
+		if data.IsMissing(v) {
+			continue
+		}
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = strconv.AppendQuote(buf, ic.attr.Name)
+		buf = append(buf, ':')
+		switch {
+		case ic.attr.Kind == data.Nominal:
+			buf = strconv.AppendQuote(buf, ic.attr.Levels[int(v)])
+		case ic.attr.Kind == data.Binary:
+			if v == 1 {
+				buf = append(buf, "true"...)
+			} else {
+				buf = append(buf, "false"...)
+			}
+		default:
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+	}
+	return append(buf, '}', '\n')
+}
+
+// httpClient keeps one warm connection per worker: the default
+// transport's idle pool of 2 per host would force most workers onto a
+// fresh TCP handshake every request, charging connection setup to the
+// measured latency and churning ephemeral ports on long runs.
+var httpClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 256,
+}}
+
+func post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return httpClient.Do(req)
+}
+
+// summarize aggregates one endpoint's samples.
+func summarize(samples []sample, endpoint string, elapsed float64) *EndpointReport {
+	er := &EndpointReport{StatusCounts: make(map[string]int)}
+	var latencies []float64
+	var sum float64
+	for _, s := range samples {
+		if s.endpoint != endpoint {
+			continue
+		}
+		er.Requests++
+		er.StatusCounts[s.status]++
+		if !s.ok {
+			er.Errors++
+			if s.status == "429" {
+				er.Rejected429++
+			}
+			continue
+		}
+		ms := s.latency.Seconds() * 1000
+		latencies = append(latencies, ms)
+		sum += ms
+		er.RowsScored += s.rows
+	}
+	if elapsed > 0 {
+		er.RequestsPerSecond = float64(er.Requests) / elapsed
+		er.RowsPerSecond = float64(er.RowsScored) / elapsed
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		er.LatencyMS = LatencySummary{
+			P50:  quantile(latencies, 0.50),
+			P95:  quantile(latencies, 0.95),
+			P99:  quantile(latencies, 0.99),
+			Mean: sum / float64(len(latencies)),
+			Max:  latencies[len(latencies)-1],
+		}
+	}
+	return er
+}
+
+// quantile reads the q-quantile from sorted samples by nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

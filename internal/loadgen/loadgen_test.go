@@ -1,0 +1,176 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/core"
+	"roadcrash/internal/serve"
+)
+
+// newService exports a small-scale study model and serves it — loadgen
+// tests run against the same artifact + server stack the CLI deploys.
+func newService(t *testing.T, cfg serve.Config) *httptest.Server {
+	t.Helper()
+	study, err := core.NewStudy(core.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := study.ExportArtifact(core.ExportOptions{Phase: 2, Threshold: 8, Learner: "tree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := artifact.WriteFile(filepath.Join(dir, "m.json"), a); err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.New(reg, cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunMixed drives both endpoints against a healthy service: every
+// request must succeed, rows must be counted on both endpoints, and the
+// latency summary must be populated and ordered.
+func TestRunMixed(t *testing.T) {
+	srv := newService(t, serve.Config{})
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        ModeMixed,
+		Concurrency: 2,
+		Duration:    400 * time.Millisecond,
+		BatchRows:   32,
+		StreamRows:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model == "" || rep.Batch == nil || rep.Stream == nil {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	for name, er := range map[string]*EndpointReport{"score": rep.Batch, "stream": rep.Stream} {
+		if er.Requests == 0 {
+			t.Fatalf("%s: no requests issued", name)
+		}
+		if er.Errors != 0 {
+			t.Fatalf("%s: %d errors against a healthy service: %v", name, er.Errors, er.StatusCounts)
+		}
+		if er.RowsScored == 0 || er.RowsPerSecond <= 0 {
+			t.Fatalf("%s: no rows counted: %+v", name, er)
+		}
+		l := er.LatencyMS
+		if l.P50 <= 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+			t.Fatalf("%s: malformed latency summary %+v", name, l)
+		}
+	}
+	// Batch requests carry exactly BatchRows rows each.
+	if got := rep.Batch.RowsScored % 32; got != 0 {
+		t.Fatalf("batch rows %d not a multiple of the request size", rep.Batch.RowsScored)
+	}
+	if rep.Stream.RowsScored%64 != 0 {
+		t.Fatalf("stream rows %d not a multiple of the request size", rep.Stream.RowsScored)
+	}
+	if rep.TotalRows != rep.Batch.RowsScored+rep.Stream.RowsScored {
+		t.Fatalf("total rows %d != %d + %d", rep.TotalRows, rep.Batch.RowsScored, rep.Stream.RowsScored)
+	}
+}
+
+// TestRunCounts429 pins the capacity-experiment path: with the server's
+// only admission slot deterministically occupied by a held stream, every
+// loadgen request must come back 429 and be recorded as a rejection, not
+// a run failure. (Relying on loadgen's own workers to collide is flaky on
+// one CPU — fast requests interleave without overlapping.)
+func TestRunCounts429(t *testing.T) {
+	srv := newService(t, serve.Config{MaxInFlight: 1})
+
+	// Occupy the slot with a stream whose body stays open, and wait until
+	// the server reports it in flight via the public metrics surface.
+	pr, pw := io.Pipe()
+	heldDone := make(chan struct{})
+	go func() {
+		defer close(heldDone)
+		resp, err := http.Post(srv.URL+"/score/stream?model=phase2-tree-cp8", "application/x-ndjson", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "crashprone_in_flight_requests 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("held stream never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        ModeStream,
+		Concurrency: 2,
+		Duration:    500 * time.Millisecond,
+		StreamRows:  64,
+	})
+	pw.Close()
+	<-heldDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stream.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.Stream.Rejected429 != rep.Stream.Requests {
+		t.Fatalf("slot held, yet not every request was rejected: %+v", rep.Stream)
+	}
+	if rep.Stream.StatusCounts["429"] != rep.Stream.Rejected429 {
+		t.Fatalf("status counts inconsistent: %+v", rep.Stream)
+	}
+	if rep.Stream.Errors != rep.Stream.Rejected429 {
+		t.Fatalf("429s not counted as errors: %+v", rep.Stream)
+	}
+	if rep.Stream.RowsScored != 0 {
+		t.Fatalf("rejected requests scored rows: %+v", rep.Stream)
+	}
+}
+
+// TestRunErrors pins the fail-fast paths: unreachable service and unknown
+// model name.
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("missing BaseURL must fail")
+	}
+	if _, err := Run(context.Background(), Options{BaseURL: "http://127.0.0.1:1"}); err == nil {
+		t.Error("unreachable service must fail")
+	}
+	srv := newService(t, serve.Config{})
+	if _, err := Run(context.Background(), Options{BaseURL: srv.URL, Model: "nope"}); err == nil {
+		t.Error("unknown model must fail")
+	}
+	if _, err := ParseMode("sideways"); err == nil {
+		t.Error("bad mode must fail")
+	}
+	for _, m := range []string{"batch", "stream", "mixed"} {
+		if _, err := ParseMode(m); err != nil {
+			t.Errorf("ParseMode(%q): %v", m, err)
+		}
+	}
+}

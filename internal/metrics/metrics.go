@@ -1,0 +1,370 @@
+// Package metrics is a dependency-free instrumentation layer for the
+// scoring service: atomic counters, gauges and fixed-bucket histograms,
+// optionally fanned out over label values, collected in a Registry that
+// renders the Prometheus text exposition format. The hot path is
+// lock-cheap — incrementing an existing series is one atomic add (plus
+// one RWMutex read-lock when the series is addressed through a labeled
+// vector), so request handlers can record freely without serializing on
+// the metrics layer.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways (in-flight
+// requests, loaded models). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one and returns the new value, so admission control can test
+// the post-increment level and the gauge in one atomic step.
+func (g *Gauge) Inc() int64 { return g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is wait-free: a binary search plus two atomic adds (the sum is
+// accumulated as integer nanounits to stay a single atomic op).
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, non-cumulative; last is +Inf
+	count   atomic.Uint64
+	sumNano atomic.Int64 // sum in 1e-9 units; exact enough for latency seconds
+}
+
+// DefBuckets spans 100µs to 10s — the useful range for request latency in
+// seconds.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil selects DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNano.Add(int64(math.Round(v * 1e9)))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sumNano.Load()) / 1e9 }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket holding it. It returns 0 for an empty histogram and
+// the last finite bound for observations beyond it.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return h.bounds[i]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric is one family: a name, help text and the series under it.
+type metric struct {
+	name string
+	help string
+	typ  string // counter, gauge, histogram
+
+	// Exactly one of the following sets is populated.
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	labels []string // label keys of the vecs below
+	cvec   *CounterVec
+	hvec   *HistogramVec
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// Registration is not safe for concurrent use (register at startup);
+// recording and rendering are.
+type Registry struct {
+	families []*metric
+	byName   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) add(m *metric) {
+	if r.byName[m.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", m.name))
+	}
+	r.byName[m.name] = true
+	r.families = append(r.families, m)
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&metric{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// Histogram registers and returns an unlabeled histogram (nil bounds
+// selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// CounterVec registers a counter family fanned out over the given label
+// keys.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{series: make(map[string]*Counter), width: len(labels)}
+	r.add(&metric{name: name, help: help, typ: "counter", labels: labels, cvec: v})
+	return v
+}
+
+// HistogramVec registers a histogram family fanned out over the given
+// label keys (nil bounds selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{series: make(map[string]*Histogram), width: len(labels), bounds: bounds}
+	r.add(&metric{name: name, help: help, typ: "histogram", labels: labels, hvec: v})
+	return v
+}
+
+// labelKey joins label values into a NUL-separated map key. NUL bytes
+// inside a value are replaced with U+FFFD first, so a hostile value
+// cannot forge another series' key or desynchronize the label rendering;
+// the sanitized form is also what renderLabels emits.
+func labelKey(values []string) string {
+	for i, v := range values {
+		if strings.ContainsRune(v, '\x00') {
+			sanitized := append([]string(nil), values...)
+			for j := i; j < len(sanitized); j++ {
+				sanitized[j] = strings.ReplaceAll(sanitized[j], "\x00", "�")
+			}
+			return strings.Join(sanitized, "\x00")
+		}
+	}
+	return strings.Join(values, "\x00")
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	mu     sync.RWMutex
+	width  int
+	series map[string]*Counter
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The fast path for an existing series is a read lock.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != v.width {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), v.width))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	c, ok := v.series[k]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.series[k]; !ok {
+		c = &Counter{}
+		v.series[k] = c
+	}
+	return c
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct {
+	mu     sync.RWMutex
+	width  int
+	bounds []float64
+	series map[string]*Histogram
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != v.width {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), v.width))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	h, ok := v.series[k]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.series[k]; !ok {
+		h = NewHistogram(v.bounds)
+		v.series[k] = h
+	}
+	return h
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), series sorted by label values so output is
+// deterministic for a given state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, m := range r.families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
+		case m.hist != nil:
+			writeHistogram(&b, m.name, "", m.hist)
+		case m.cvec != nil:
+			m.cvec.mu.RLock()
+			for _, k := range sortedKeys(m.cvec.series) {
+				fmt.Fprintf(&b, "%s{%s} %d\n", m.name, renderLabels(m.labels, k), m.cvec.series[k].Value())
+			}
+			m.cvec.mu.RUnlock()
+		case m.hvec != nil:
+			m.hvec.mu.RLock()
+			for _, k := range sortedKeys(m.hvec.series) {
+				writeHistogram(&b, m.name, renderLabels(m.labels, k), m.hvec.series[k])
+			}
+			m.hvec.mu.RUnlock()
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// renderLabels turns a series key back into `k1="v1",k2="v2"`.
+func renderLabels(labels []string, key string) string {
+	values := strings.Split(key, "\x00")
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l + `="` + escapeLabel(values[i]) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// writeHistogram renders one histogram series: cumulative buckets, sum and
+// count. extraLabels is either empty or a rendered `k="v"` list.
+func writeHistogram(b *strings.Builder, name, extraLabels string, h *Histogram) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeBucket(b, name, extraLabels, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeBucket(b, name, extraLabels, "+Inf", cum)
+	suffix := ""
+	if extraLabels != "" {
+		suffix = "{" + extraLabels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, suffix, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+func writeBucket(b *strings.Builder, name, extraLabels, le string, cum uint64) {
+	if extraLabels != "" {
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"%s\"} %d\n", name, extraLabels, le, cum)
+	} else {
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+	}
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	if got := g.Inc(); got != 1 {
+		t.Fatalf("gauge Inc = %d, want 1", got)
+	}
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge = %d, want -7", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for _, v := range []float64{0.5, 0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-105.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 105.5", got)
+	}
+	// Bucket layout: (-inf,1]=2, (1,2]=1, (2,4]=1, +Inf=1.
+	if q := h.Quantile(0.2); q <= 0 || q > 1 {
+		t.Fatalf("p20 = %v, want inside (0,1]", q)
+	}
+	if q := h.Quantile(0.6); q <= 1 || q > 2 {
+		t.Fatalf("p60 = %v, want inside (1,2]", q)
+	}
+	if q := h.Quantile(0.7); q <= 2 || q > 4 {
+		t.Fatalf("p70 = %v, want inside (2,4]", q)
+	}
+	// Observations beyond the last bound clamp to it.
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("p100 = %v, want 4 (last finite bound)", q)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name must panic")
+		}
+	}()
+	r.Gauge("x_total", "again")
+}
+
+func TestVecLabelWidthPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("a_total", "a", "model")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label count must panic")
+		}
+	}()
+	v.With("m", "extra")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	g := r.Gauge("in_flight", "in-flight")
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1})
+	cv := r.CounterVec("model_reqs_total", "per model", "model", "endpoint")
+	hv := r.HistogramVec("model_latency_seconds", "per model latency", []float64{1}, "model")
+
+	c.Add(3)
+	g.Set(2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	cv.With("tree", "score").Add(7)
+	cv.With("bayes", "stream").Inc()
+	cv.With(`we"ird\mo`+"\n"+`del`, "score").Inc()
+	hv.With("tree").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 3",
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+		`model_reqs_total{model="tree",endpoint="score"} 7`,
+		`model_reqs_total{model="bayes",endpoint="stream"} 1`,
+		`model_reqs_total{model="we\"ird\\mo\ndel",endpoint="score"} 1`,
+		`model_latency_seconds_bucket{model="tree",le="1"} 1`,
+		`model_latency_seconds_bucket{model="tree",le="+Inf"} 1`,
+		`model_latency_seconds_count{model="tree"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Vec series render sorted by label values: bayes before tree.
+	if strings.Index(out, `model="bayes"`) > strings.Index(out, `model="tree",endpoint=`) {
+		t.Error("vec series not sorted by label values")
+	}
+}
+
+// TestNULLabelValuesCannotForgeSeries pins the label-key sanitization: a
+// value containing the internal NUL separator must neither collide with a
+// legitimately-keyed series nor desynchronize the rendered label list.
+func TestNULLabelValuesCannotForgeSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("f_total", "f", "model", "endpoint")
+	v.With("a\x00x", "score").Add(5)
+	v.With("a", "x\x00score").Add(7)
+	v.With("a", "score").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`f_total{model="a�x",endpoint="score"} 5`,
+		`f_total{model="a",endpoint="x�score"} 7`,
+		`f_total{model="a",endpoint="score"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentRecording hammers every metric type from many goroutines
+// while rendering — run under -race this pins the lock-cheap hot path.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", nil)
+	cv := r.CounterVec("cv_total", "cv", "model")
+	hv := r.HistogramVec("hv_seconds", "hv", nil, "model")
+
+	const goroutines, iters = 8, 500
+	models := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(float64(k) / 1000)
+				cv.With(models[k%len(models)]).Inc()
+				hv.With(models[(i+k)%len(models)]).Observe(0.01)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			for k := 0; k < 50; k++ {
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Reset()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), goroutines*iters)
+	}
+	if h.Count() != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*iters)
+	}
+	total := uint64(0)
+	for _, m := range models {
+		total += cv.With(m).Value()
+	}
+	if total != goroutines*iters {
+		t.Fatalf("vec total = %d, want %d", total, goroutines*iters)
+	}
+}

@@ -1,0 +1,209 @@
+package bayes
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// mixedDataset covers every likelihood family: a Gaussian interval
+// feature, a nominal feature and a binary feature, with missing values
+// sprinkled in.
+func mixedDataset(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("mixed").
+		Interval("x").
+		Nominal("s", "a", "b", "c").
+		Binary("flag").
+		Binary("y")
+	for i := 0; i < n; i++ {
+		y := float64(i % 2)
+		x := r.Normal(4*y, 1)
+		lv := float64(r.Intn(3))
+		fl := y
+		if r.Bool(0.2) {
+			fl = 1 - fl
+		}
+		if r.Bool(0.1) {
+			x = data.Missing
+		}
+		if r.Bool(0.1) {
+			lv = data.Missing
+		}
+		b.Row(x, lv, fl, y)
+	}
+	return b.Build()
+}
+
+// probeRows spans the feature space including missing values in every
+// position.
+func probeRows() [][]float64 {
+	M := data.Missing
+	return [][]float64{
+		{0, 0, 0, M},
+		{4, 2, 1, M},
+		{2, 1, 0, M},
+		{M, 0, 1, M},
+		{1.5, M, 0, M},
+		{3, 2, M, M},
+		{M, M, M, M},
+	}
+}
+
+// TestMarshalRoundTrip pins the serialization contract: a decoded model
+// predicts bit-identically to the fitted one over the probe grid.
+func TestMarshalRoundTrip(t *testing.T) {
+	ds := mixedDataset(500, 7)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range probeRows() {
+		want, got := m.PredictProb(row), back.PredictProb(row)
+		if want != got {
+			t.Errorf("probe %d: decoded %v, fitted %v", i, got, want)
+		}
+	}
+	// Encode -> decode -> encode is byte-stable.
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Error("re-encoding a decoded model changed the bytes")
+	}
+}
+
+func TestMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(&Model{}); err == nil {
+		t.Error("marshaling an unfitted model must fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := mixedDataset(200, 8)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(ds.NumAttrs()); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	// A schema narrower than the target index must be rejected...
+	if err := m.Validate(3); err == nil {
+		t.Error("target outside schema not caught")
+	}
+	// ...and one narrower than a feature column too.
+	if err := m.Validate(1); err == nil {
+		t.Error("feature outside schema not caught")
+	}
+}
+
+// TestUnmarshalCorrupt drives the strict decode paths: every corrupt
+// payload must be rejected with a descriptive error, never decoded into a
+// model that indexes out of range at scoring time.
+func TestUnmarshalCorrupt(t *testing.T) {
+	ds := mixedDataset(200, 9)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(from, to string) string { return strings.Replace(string(raw), from, to, 1) }
+	cases := map[string]string{
+		"truncated":            string(raw[:len(raw)/2]),
+		"not json":             "{nope",
+		"cols/attrs mismatch":  corrupt(`"cols":[0,1,2]`, `"cols":[0,1]`),
+		"unknown kind":         corrupt(`"kind":"nominal"`, `"kind":"weird"`),
+		"non-positive sd":      corrupt(`"sd":1`, `"sd":-1`),
+		"zero sd":              `{"prior":[0,0],"cols":[0],"attrs":[{"kind":"interval","gauss":[{"mean":0,"sd":0},{"mean":0,"sd":1}],"totals":[0,0]}],"target":1}`,
+		"empty level counts":   corrupt(`"counts":[[`, `"counts":[[],[`) + "]",
+		"ragged level counts":  `{"prior":[0,0],"cols":[0],"attrs":[{"kind":"nominal","counts":[[1,2],[1]],"totals":[3,1]}],"target":1}`,
+		"missing level counts": `{"prior":[0,0],"cols":[0],"attrs":[{"kind":"nominal","totals":[0,0]}],"target":1}`,
+	}
+	for name, payload := range cases {
+		var back Model
+		if err := json.Unmarshal([]byte(payload), &back); err == nil {
+			t.Errorf("%s: corrupt payload accepted", name)
+		}
+	}
+}
+
+// TestTrainErrors drives every trainer rejection path.
+func TestTrainErrors(t *testing.T) {
+	ds := mixedDataset(100, 10)
+	y := ds.MustAttrIndex("y")
+	for name, run := range map[string]func() error{
+		"target out of range": func() error { _, err := Train(ds, 99, DefaultConfig()); return err },
+		"negative target":     func() error { _, err := Train(ds, -1, DefaultConfig()); return err },
+		"non-binary target":   func() error { _, err := Train(ds, 0, DefaultConfig()); return err },
+		"target as feature": func() error {
+			_, err := Train(ds, y, Config{Features: []int{y}, MinSigma: 1e-3})
+			return err
+		},
+		"feature out of range": func() error {
+			_, err := Train(ds, y, Config{Features: []int{42}, MinSigma: 1e-3})
+			return err
+		},
+		"single class": func() error {
+			b := data.NewBuilder("one").Interval("x").Binary("y")
+			for i := 0; i < 10; i++ {
+				b.Row(float64(i), 1)
+			}
+			one := b.Build()
+			_, err := Train(one, 1, DefaultConfig())
+			return err
+		},
+		"nominal without levels": func() error {
+			b := data.NewBuilder("empty").Nominal("s").Binary("y")
+			b.Row(data.Missing, 0).Row(data.Missing, 1)
+			empty := b.Build()
+			_, err := Train(empty, 1, DefaultConfig())
+			return err
+		},
+	} {
+		if err := run(); err == nil {
+			t.Errorf("%s: trainer accepted bad input", name)
+		}
+	}
+}
+
+// TestTrainDegenerateGaussian pins the uninformative fallback: a feature
+// observed in only one class gets a flat likelihood for the other, and
+// MinSigma defaults when unset.
+func TestTrainDegenerateGaussian(t *testing.T) {
+	b := data.NewBuilder("deg").Interval("x").Binary("y")
+	for i := 0; i < 20; i++ {
+		x := float64(i)
+		if i%2 == 0 {
+			x = data.Missing // class 0 never observes x
+		}
+		b.Row(x, float64(i%2))
+	}
+	ds := b.Build()
+	m, err := Train(ds, 1, Config{}) // zero MinSigma exercises the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model must stay usable: probabilities finite on and off grid.
+	for _, x := range []float64{-5, 0, 9, data.Missing} {
+		p := m.PredictProb([]float64{x, data.Missing})
+		if p < 0 || p > 1 {
+			t.Fatalf("P(pos|x=%v) = %v", x, p)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package ensemble
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+// probeGrid spans the noisyThreshold feature space including missing
+// values.
+func probeGrid() [][]float64 {
+	M := data.Missing
+	return [][]float64{
+		{0.1, 0.1, M},
+		{0.9, 0.9, M},
+		{0.7, 0.2, M},
+		{0.5, 0.5, M},
+		{M, 0.8, M},
+		{0.3, M, M},
+		{M, M, M},
+	}
+}
+
+// TestBaggingMarshalRoundTrip pins the serialization contract for bagged
+// ensembles: member trees and their vote average survive decode exactly.
+func TestBaggingMarshalRoundTrip(t *testing.T) {
+	ds := noisyThreshold(600, 0.1, 3)
+	cfg := DefaultBaggingConfig()
+	cfg.Trees = 5
+	m, err := TrainBagging(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Members()) != 5 {
+		t.Fatalf("members = %d, want 5", len(m.Members()))
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bagging
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != m.Size() {
+		t.Fatalf("size %d -> %d", m.Size(), back.Size())
+	}
+	for i, row := range probeGrid() {
+		if want, got := m.PredictProb(row), back.PredictProb(row); want != got {
+			t.Errorf("probe %d: decoded %v, fitted %v", i, got, want)
+		}
+	}
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Error("re-encoding a decoded ensemble changed the bytes")
+	}
+}
+
+// TestAdaBoostMarshalRoundTrip pins the boosted contract: trees and round
+// weights both survive, so the weighted vote margin is bit-identical.
+func TestAdaBoostMarshalRoundTrip(t *testing.T) {
+	ds := noisyThreshold(600, 0.1, 4)
+	cfg := DefaultAdaBoostConfig()
+	cfg.Rounds = 6
+	m, err := TrainAdaBoost(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Members()) == 0 || len(m.Members()) != m.Size() {
+		t.Fatalf("members = %d, size %d", len(m.Members()), m.Size())
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AdaBoost
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range probeGrid() {
+		if want, got := m.PredictProb(row), back.PredictProb(row); want != got {
+			t.Errorf("probe %d: decoded %v, fitted %v", i, got, want)
+		}
+	}
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Error("re-encoding a decoded ensemble changed the bytes")
+	}
+}
+
+func TestMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(&Bagging{}); err == nil {
+		t.Error("marshaling an unfitted bagging ensemble must fail")
+	}
+	if _, err := json.Marshal(&AdaBoost{}); err == nil {
+		t.Error("marshaling an unfitted AdaBoost ensemble must fail")
+	}
+}
+
+// TestUnmarshalCorrupt drives the strict decode paths for both ensemble
+// kinds.
+func TestUnmarshalCorrupt(t *testing.T) {
+	ds := noisyThreshold(300, 0.1, 5)
+	bag, err := TrainBagging(ds, 2, BaggingConfig{Trees: 2, Tree: DefaultBaggingConfig().Tree, Seed: 1, SampleFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bagRaw, err := json.Marshal(bag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boost, err := TrainAdaBoost(ds, 2, DefaultAdaBoostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boostRaw, err := json.Marshal(boost)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, payload := range map[string]string{
+		"truncated": string(bagRaw[:len(bagRaw)/2]),
+		"not json":  "{nope",
+		"no trees":  `{"trees":[]}`,
+		"null tree": `{"trees":[null]}`,
+	} {
+		var back Bagging
+		if err := json.Unmarshal([]byte(payload), &back); err == nil {
+			t.Errorf("bagging %s: corrupt payload accepted", name)
+		}
+	}
+	firstAlpha := `"alphas":[`
+	i := strings.Index(string(boostRaw), firstAlpha)
+	if i < 0 {
+		t.Fatalf("no alphas in %s", boostRaw)
+	}
+	for name, payload := range map[string]string{
+		"truncated":       string(boostRaw[:len(boostRaw)/2]),
+		"not json":        "{nope",
+		"no trees":        `{"trees":[],"alphas":[]}`,
+		"null tree":       `{"trees":[null],"alphas":[1]}`,
+		"alphas mismatch": string(boostRaw[:i]) + `"alphas":[]}`,
+	} {
+		var back AdaBoost
+		if err := json.Unmarshal([]byte(payload), &back); err == nil {
+			t.Errorf("adaboost %s: corrupt payload accepted", name)
+		}
+	}
+}
+
+// TestTrainErrors drives the trainer rejection paths of both ensembles.
+func TestTrainErrors(t *testing.T) {
+	ds := noisyThreshold(100, 0.1, 6)
+	// All-missing target: no labelled instances to boost.
+	b := data.NewBuilder("unlabelled").Interval("x").Binary("y")
+	for i := 0; i < 10; i++ {
+		b.Row(float64(i), data.Missing)
+	}
+	unlabelled := b.Build()
+	for name, run := range map[string]func() error{
+		"bagging zero trees": func() error {
+			_, err := TrainBagging(ds, 2, BaggingConfig{Trees: 0, SampleFrac: 1})
+			return err
+		},
+		"bagging zero sample frac": func() error {
+			_, err := TrainBagging(ds, 2, BaggingConfig{Trees: 3, SampleFrac: 0})
+			return err
+		},
+		"bagging oversample": func() error {
+			_, err := TrainBagging(ds, 2, BaggingConfig{Trees: 3, SampleFrac: 1.5})
+			return err
+		},
+		"adaboost zero rounds": func() error {
+			_, err := TrainAdaBoost(ds, 2, AdaBoostConfig{Rounds: 0})
+			return err
+		},
+		"adaboost unlabelled": func() error {
+			_, err := TrainAdaBoost(unlabelled, 1, AdaBoostConfig{Rounds: 3, Tree: DefaultAdaBoostConfig().Tree})
+			return err
+		},
+	} {
+		if err := run(); err == nil {
+			t.Errorf("%s: trainer accepted bad input", name)
+		}
+	}
+}
+
+// TestAdaBoostPerfectLearner pins the early-stop path: on separable data a
+// single round classifies perfectly, dominates the vote and stops.
+func TestAdaBoostPerfectLearner(t *testing.T) {
+	// y == x exactly: any stump splits at the 0/1 midpoint and classifies
+	// perfectly, whatever the bootstrap resample drew.
+	b := data.NewBuilder("sep").Interval("x").Binary("y")
+	for i := 0; i < 200; i++ {
+		v := float64(i % 2)
+		b.Row(v, v)
+	}
+	ds := b.Build()
+	cfg := DefaultAdaBoostConfig()
+	cfg.Rounds = 10
+	m, err := TrainAdaBoost(ds, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 {
+		t.Fatalf("perfect learner did not stop after one round (%d rounds)", m.Size())
+	}
+	if acc := accuracy(t, m, ds, 1); acc != 1 {
+		t.Fatalf("accuracy = %v, want 1", acc)
+	}
+}
+
+// TestAdaBoostChanceLearner pins the other early stop: when the first weak
+// learner is no better than chance, the ensemble keeps it with near-zero
+// weight and predicts an uncertain probability.
+func TestAdaBoostChanceLearner(t *testing.T) {
+	// A constant feature with perfectly balanced labels: the stump predicts
+	// the 0.5 majority everywhere, so its weighted error is exactly 0.5.
+	b := data.NewBuilder("chance").Interval("x").Binary("y")
+	for i := 0; i < 100; i++ {
+		b.Row(1, float64(i%2))
+	}
+	ds := b.Build()
+	m, err := TrainAdaBoost(ds, 1, AdaBoostConfig{Rounds: 5, Tree: DefaultAdaBoostConfig().Tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 {
+		t.Fatalf("chance learner kept %d rounds, want 1", m.Size())
+	}
+	if p := m.PredictProb([]float64{1, data.Missing}); math.Abs(p-0.5) > 0.01 {
+		t.Fatalf("chance ensemble P = %v, want ~0.5", p)
+	}
+}

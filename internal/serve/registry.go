@@ -1,10 +1,13 @@
 // Package serve turns persisted model artifacts into the scoring service
 // the paper's deployment stage calls for: an in-memory model registry fed
-// from an artifact directory, fronted by an HTTP JSON API. POST /score
-// answers bounded batches, POST /score/stream scores NDJSON feeds of any
-// length in constant memory, and GET /models and GET /healthz report the
-// registry. Loaded models are immutable, so any number of requests can
-// score against one registry concurrently.
+// from an artifact directory, fronted by an HTTP JSON API hardened for
+// production traffic. POST /score answers bounded batches, POST
+// /score/stream scores NDJSON feeds of any length in constant memory,
+// GET /models and GET /healthz report the registry, GET /metrics exposes
+// live counters in Prometheus text format, and POST /reload hot-swaps the
+// whole model set. Loaded models are immutable, so any number of requests
+// can score against one registry concurrently; admission control caps the
+// in-flight scoring requests and deadlines bound every read and write.
 package serve
 
 import (
@@ -27,7 +30,23 @@ type Model struct {
 	Mapper   *artifact.RowMapper
 }
 
-// Registry is a concurrent-safe name -> model table.
+// buildModel decodes an artifact's learner and builds its row mapper.
+func buildModel(a *artifact.Artifact) (*Model, error) {
+	scorer, err := a.Model()
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := artifact.NewRowMapper(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Artifact: a, Scorer: scorer, Mapper: mapper}, nil
+}
+
+// Registry is a concurrent-safe name -> model table. Mutations swap
+// either one entry (Register) or the whole table (ReloadDir) under the
+// write lock, so a reader always observes a complete model set — never a
+// half-applied rollover.
 type Registry struct {
 	mu     sync.RWMutex
 	models map[string]*Model
@@ -40,17 +59,13 @@ func NewRegistry() *Registry {
 
 // Register decodes the artifact's learner, builds its row mapper and adds
 // it under its artifact name. Re-registering a name replaces the previous
-// model (in-place model rollover).
+// model (in-place single-model rollover); requests already scoring against
+// the old model finish on it.
 func (r *Registry) Register(a *artifact.Artifact) (*Model, error) {
-	scorer, err := a.Model()
+	m, err := buildModel(a)
 	if err != nil {
 		return nil, err
 	}
-	mapper, err := artifact.NewRowMapper(a)
-	if err != nil {
-		return nil, err
-	}
-	m := &Model{Artifact: a, Scorer: scorer, Mapper: mapper}
 	r.mu.Lock()
 	r.models[a.Name] = m
 	r.mu.Unlock()
@@ -66,37 +81,77 @@ func (r *Registry) LoadFile(path string) (*Model, error) {
 	return r.Register(a)
 }
 
-// LoadDir registers every *.json artifact in dir and returns the loaded
-// model names. Two files carrying the same artifact name are an error —
-// one would silently shadow the other — and so is a directory with no
+// loadModels reads and decodes every *.json artifact in dir into a fresh
+// table. Two files carrying the same artifact name are an error — one
+// would silently shadow the other — and so is a directory with no
 // artifacts: a scoring service with zero models is a deployment mistake
 // worth failing on.
-func (r *Registry) LoadDir(dir string) ([]string, error) {
+func loadModels(dir string) (map[string]*Model, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return nil, nil, fmt.Errorf("serve: %w", err)
 	}
-	var names []string
+	models := make(map[string]*Model)
 	fileFor := make(map[string]string)
+	var names []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
-		m, err := r.LoadFile(filepath.Join(dir, e.Name()))
+		a, err := artifact.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("serve: loading %s: %w", e.Name(), err)
+			return nil, nil, fmt.Errorf("serve: loading %s: %w", e.Name(), err)
+		}
+		m, err := buildModel(a)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: loading %s: %w", e.Name(), err)
 		}
 		name := m.Artifact.Name
 		if prev, dup := fileFor[name]; dup {
-			return nil, fmt.Errorf("serve: %s and %s both carry model name %q", prev, e.Name(), name)
+			return nil, nil, fmt.Errorf("serve: %s and %s both carry model name %q", prev, e.Name(), name)
 		}
 		fileFor[name] = e.Name()
+		models[name] = m
 		names = append(names, name)
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("serve: no model artifacts (*.json) in %s", dir)
+		return nil, nil, fmt.Errorf("serve: no model artifacts (*.json) in %s", dir)
 	}
 	sort.Strings(names)
+	return models, names, nil
+}
+
+// LoadDir registers every *.json artifact in dir and returns the loaded
+// model names. The load is all-or-nothing: the whole directory is decoded
+// before any entry becomes visible, so a bad artifact cannot leave the
+// registry partially updated.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	models, names, err := loadModels(dir)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	for name, m := range models {
+		r.models[name] = m
+	}
+	r.mu.Unlock()
+	return names, nil
+}
+
+// ReloadDir atomically replaces the whole model set with the artifacts in
+// dir — the hot-rollout path. The directory is fully decoded before the
+// swap; on any error the registry keeps serving the previous set
+// untouched. Models dropped from the directory disappear from the
+// registry, but requests already scoring against them finish normally on
+// the model pointers they hold.
+func (r *Registry) ReloadDir(dir string) ([]string, error) {
+	models, names, err := loadModels(dir)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.models = models
+	r.mu.Unlock()
 	return names, nil
 }
 
@@ -118,6 +173,20 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Models returns the registered models sorted by name — one consistent
+// snapshot of the table, so a caller iterating it cannot observe a
+// half-applied rollover between lookups.
+func (r *Registry) Models() []*Model {
+	r.mu.RLock()
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(models, func(i, j int) bool { return models[i].Artifact.Name < models[j].Artifact.Name })
+	return models
 }
 
 // Len returns the registered model count.

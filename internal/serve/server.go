@@ -3,10 +3,14 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"roadcrash/internal/artifact"
 	"roadcrash/internal/data"
+	"roadcrash/internal/metrics"
 )
 
 // MaxBatch bounds the segments accepted by one /score call so a single
@@ -15,17 +19,71 @@ import (
 // batch.
 const MaxBatch = 10000
 
-// maxBodyBytes caps request bodies (64 MiB comfortably fits MaxBatch
-// fully-populated segments). It applies to the batch endpoint only; the
-// streaming endpoint reads its body incrementally and is bounded per line
-// instead.
-const maxBodyBytes = 64 << 20
-
 // streamChunkSize is the row-batch size of the streaming endpoint: scores
 // are computed and flushed to the client in chunks of this many rows, so
 // response memory stays bounded and slow readers exert backpressure on the
 // request body through the unread socket.
 const streamChunkSize = 1024
+
+// Config tunes the service's admission control and deadlines. The zero
+// value of every field selects its default, so Config{} is a production-
+// safe configuration.
+type Config struct {
+	// MaxInFlight caps concurrently admitted scoring requests (/score and
+	// /score/stream); excess requests are rejected immediately with 429 so
+	// overload degrades crisply instead of queueing into timeouts. Probe
+	// and admin endpoints are exempt. Default 256.
+	MaxInFlight int
+	// RequestTimeout bounds a whole /score request: the connection read
+	// and write deadlines are set this far ahead when handling starts, so
+	// a slow-sending or slow-reading client cannot hold a worker open.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// StreamTimeout is the progress deadline of /score/stream: every body
+	// read that delivers bytes and every flushed chunk push the
+	// connection's read and write deadlines this far ahead, so a stream
+	// may run for hours at any feed rate while a sender that stops
+	// sending or a client that stops reading is still cut off. Default
+	// 30s.
+	StreamTimeout time.Duration
+	// MaxBodyBytes caps the /score request body. Default 64 MiB, which
+	// comfortably fits MaxBatch fully-populated segments. The streaming
+	// endpoint reads its body incrementally and is bounded per line
+	// instead.
+	MaxBodyBytes int64
+	// ReloadDir enables POST /reload: the whole model set is atomically
+	// replaced with the artifacts in this directory. Empty disables the
+	// endpoint (404).
+	ReloadDir string
+}
+
+// DefaultConfig returns the default admission and deadline settings.
+func DefaultConfig() Config {
+	return Config{
+		MaxInFlight:    256,
+		RequestTimeout: 30 * time.Second,
+		StreamTimeout:  30 * time.Second,
+		MaxBodyBytes:   64 << 20,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = def.MaxInFlight
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = def.RequestTimeout
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = def.StreamTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = def.MaxBodyBytes
+	}
+	return c
+}
 
 // ScoreRequest is the POST /score body: one named model and a batch of
 // segments, each a map of attribute name -> value. Values follow the
@@ -49,12 +107,16 @@ type ScoreResponse struct {
 	Scores []SegmentScore `json:"scores"`
 }
 
-// ModelInfo is one GET /models entry.
+// ModelInfo is one GET /models entry. Schema lists the training attribute
+// names in training order, so clients (and the load generator) can build
+// valid scoring payloads without reading the artifact file.
 type ModelInfo struct {
 	Name      string             `json:"name"`
 	Kind      artifact.Kind      `json:"kind"`
 	Threshold int                `json:"threshold"`
 	Seed      uint64             `json:"seed"`
+	Schema    []string           `json:"schema"`
+	Target    string             `json:"target"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -74,102 +136,254 @@ type StreamTrailer struct {
 	Error string `json:"error,omitempty"`
 }
 
+// ReloadResponse answers POST /reload with the model names now serving.
+type ReloadResponse struct {
+	Models []string `json:"models"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewServer builds the HTTP handler over a registry.
-func NewServer(reg *Registry) http.Handler {
+// Server is the hardened scoring service: the HTTP API over a registry
+// plus admission control, deadlines and live metrics.
+type Server struct {
+	reg *Registry
+	cfg Config
+	mux *http.ServeMux
+
+	metrics   *metrics.Registry
+	inFlight  *metrics.Gauge
+	requests  *metrics.CounterVec   // {endpoint, code}
+	modelReqs *metrics.CounterVec   // {model, endpoint}
+	rows      *metrics.CounterVec   // {model}
+	errors    *metrics.CounterVec   // {model, endpoint}
+	latency   *metrics.HistogramVec // {endpoint}
+	reloads   *metrics.CounterVec   // {outcome}
+}
+
+// NewServer builds the service with the default configuration — the
+// convenience constructor; New exposes the tuning knobs.
+func NewServer(reg *Registry) *Server { return New(reg, Config{}) }
+
+// New builds the service over a registry. Zero Config fields select their
+// defaults.
+func New(reg *Registry, cfg Config) *Server {
+	s := &Server{reg: reg, cfg: cfg.withDefaults(), metrics: metrics.NewRegistry()}
+	s.inFlight = s.metrics.Gauge("crashprone_in_flight_requests",
+		"Scoring requests currently being handled.")
+	s.requests = s.metrics.CounterVec("crashprone_requests_total",
+		"Scoring requests by endpoint and HTTP status code.", "endpoint", "code")
+	s.modelReqs = s.metrics.CounterVec("crashprone_model_requests_total",
+		"Scoring requests by model and endpoint.", "model", "endpoint")
+	s.rows = s.metrics.CounterVec("crashprone_model_rows_scored_total",
+		"Rows scored by model.", "model")
+	s.errors = s.metrics.CounterVec("crashprone_model_errors_total",
+		"Scoring failures by model and endpoint (bad rows, non-finite scores, aborted streams).",
+		"model", "endpoint")
+	s.latency = s.metrics.HistogramVec("crashprone_request_duration_seconds",
+		"Scoring request latency by endpoint.", nil, "endpoint")
+	s.reloads = s.metrics.CounterVec("crashprone_reloads_total",
+		"POST /reload attempts by outcome.", "outcome")
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET only")
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/score", s.admit("score", s.handleScore))
+	mux.HandleFunc("/score/stream", s.admit("stream", s.handleStream))
+	if s.cfg.ReloadDir != "" {
+		mux.HandleFunc("/reload", s.handleReload)
+	}
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the service's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) { s.mux.ServeHTTP(w, req) }
+
+// Metrics returns the server's metric registry (the /metrics content).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// InFlight returns the number of scoring requests currently admitted.
+func (s *Server) InFlight() int64 { return s.inFlight.Value() }
+
+// statusWriter records the status code a handler sent, so the admission
+// wrapper can label its request counter. Unwrap keeps
+// http.ResponseController working through the wrapper (flushes and
+// deadline control reach the underlying connection).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// admit is the admission-control wrapper of the scoring endpoints: it
+// caps in-flight requests (crisp 429 on overload), tracks the in-flight
+// gauge and records per-endpoint latency and status counts. The
+// post-increment test makes the cap exact under concurrency — the gauge
+// counts admitted requests only.
+func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if n := s.inFlight.Inc(); n > int64(s.cfg.MaxInFlight) {
+			s.inFlight.Dec()
+			s.requests.With(endpoint, "429").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": reg.Len()})
-	})
-	mux.HandleFunc("/models", func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET only")
+		defer s.inFlight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, req)
+		s.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		s.requests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	models := s.reg.Models()
+	infos := make([]ModelInfo, 0, len(models))
+	for _, m := range models {
+		a := m.Artifact
+		schema := make([]string, 0, len(m.Mapper.Attrs()))
+		for _, at := range m.Mapper.Attrs() {
+			schema = append(schema, at.Name)
+		}
+		infos = append(infos, ModelInfo{
+			Name: a.Name, Kind: a.Kind, Threshold: a.Threshold,
+			Seed: a.Seed, Schema: schema, Target: a.Target, Metrics: a.Metrics,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	names, err := s.reg.ReloadDir(s.cfg.ReloadDir)
+	if err != nil {
+		s.reloads.With("error").Inc()
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("reload failed, previous model set still serving: %v", err))
+		return
+	}
+	s.reloads.With("ok").Inc()
+	writeJSON(w, http.StatusOK, ReloadResponse{Models: names})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	// One deadline covers reading the body and writing the response, so a
+	// slowloris client cannot hold the worker past RequestTimeout. Errors
+	// are ignored: a transport without deadline support (ErrNotSupported)
+	// still serves correctly, just unguarded. The deadlines are reset on
+	// the way out — a pooled keep-alive connection must not inherit this
+	// request's deadline as an accidental idle timeout.
+	rc := http.NewResponseController(w)
+	deadline := time.Now().Add(s.cfg.RequestTimeout)
+	rc.SetReadDeadline(deadline)
+	rc.SetWriteDeadline(deadline)
+	defer func() {
+		rc.SetReadDeadline(time.Time{})
+		rc.SetWriteDeadline(time.Time{})
+	}()
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var sr ScoreRequest
+	if err := dec.Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	if sr.Model == "" {
+		writeError(w, http.StatusBadRequest, "missing model name")
+		return
+	}
+	if len(sr.Segments) == 0 {
+		writeError(w, http.StatusBadRequest, "no segments to score")
+		return
+	}
+	if len(sr.Segments) > MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-segment limit", len(sr.Segments), MaxBatch))
+		return
+	}
+	m, ok := s.reg.Get(sr.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", sr.Model))
+		return
+	}
+	s.modelReqs.With(sr.Model, "score").Inc()
+	resp := ScoreResponse{Model: sr.Model, Kind: m.Artifact.Kind, Scores: make([]SegmentScore, len(sr.Segments))}
+	for i, seg := range sr.Segments {
+		row, err := m.Mapper.MapValues(seg)
+		if err != nil {
+			s.errors.With(sr.Model, "score").Inc()
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("segment %d: %v", i, err))
 			return
 		}
-		infos := make([]ModelInfo, 0)
-		for _, name := range reg.Names() {
-			m, ok := reg.Get(name)
-			if !ok {
-				continue
-			}
-			a := m.Artifact
-			infos = append(infos, ModelInfo{
-				Name: a.Name, Kind: a.Kind, Threshold: a.Threshold,
-				Seed: a.Seed, Metrics: a.Metrics,
-			})
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
-	})
-	mux.HandleFunc("/score", func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "POST only")
+		risk := m.Scorer.PredictProb(row)
+		if !artifact.Finite([]float64{risk}) {
+			s.errors.With(sr.Model, "score").Inc()
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("segment %d: model produced a non-finite score", i))
 			return
 		}
-		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
-		dec.DisallowUnknownFields()
-		var sr ScoreRequest
-		if err := dec.Decode(&sr); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
-			return
-		}
-		if sr.Model == "" {
-			writeError(w, http.StatusBadRequest, "missing model name")
-			return
-		}
-		if len(sr.Segments) == 0 {
-			writeError(w, http.StatusBadRequest, "no segments to score")
-			return
-		}
-		if len(sr.Segments) > MaxBatch {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-segment limit", len(sr.Segments), MaxBatch))
-			return
-		}
-		m, ok := reg.Get(sr.Model)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", sr.Model))
-			return
-		}
-		resp := ScoreResponse{Model: sr.Model, Kind: m.Artifact.Kind, Scores: make([]SegmentScore, len(sr.Segments))}
-		for i, seg := range sr.Segments {
-			row, err := m.Mapper.MapValues(seg)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("segment %d: %v", i, err))
-				return
-			}
-			risk := m.Scorer.PredictProb(row)
-			if !artifact.Finite([]float64{risk}) {
-				writeError(w, http.StatusInternalServerError, fmt.Sprintf("segment %d: model produced a non-finite score", i))
-				return
-			}
-			resp.Scores[i] = SegmentScore{Risk: risk, CrashProne: risk >= 0.5}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("/score/stream", func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		name := req.URL.Query().Get("model")
-		if name == "" {
-			writeError(w, http.StatusBadRequest, "missing model query parameter")
-			return
-		}
-		m, ok := reg.Get(name)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
-			return
-		}
-		streamScores(w, m, req)
-	})
-	return mux
+		resp.Scores[i] = SegmentScore{Risk: risk, CrashProne: risk >= 0.5}
+	}
+	s.rows.With(sr.Model).Add(uint64(len(sr.Segments)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	name := req.URL.Query().Get("model")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing model query parameter")
+		return
+	}
+	m, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	s.modelReqs.With(name, "stream").Inc()
+	s.streamScores(w, name, m, req)
 }
 
 // streamScores runs the out-of-core scoring path over an NDJSON request
@@ -178,18 +392,34 @@ func NewServer(reg *Registry) http.Handler {
 // the request nor the response is ever materialized. The response is NDJSON
 // too — one StreamScore line per input row, in order, closed by a
 // StreamTrailer. Errors after the first flush cannot change the HTTP
-// status, so they are reported in the trailer.
-func streamScores(w http.ResponseWriter, m *Model, req *http.Request) {
+// status, so they are reported in the trailer. Every arriving body read
+// and every flushed chunk pushes the connection deadlines StreamTimeout
+// ahead: the stream as a whole may run arbitrarily long and a feed of any
+// rate stays alive, but a sender that stops sending — or a client that
+// stops reading — is cut off within StreamTimeout.
+func (s *Server) streamScores(w http.ResponseWriter, name string, m *Model, req *http.Request) {
 	// The handler keeps reading the request body after it starts writing
 	// the response. Without full-duplex mode the HTTP/1.x server discards
 	// and closes the unread body at the first write, truncating any
 	// stream with under ~256KiB left to read; HTTP/2 is duplex natively,
 	// so an ErrNotSupported here is fine to ignore.
-	http.NewResponseController(w).EnableFullDuplex()
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	extend := func() {
+		deadline := time.Now().Add(s.cfg.StreamTimeout)
+		rc.SetReadDeadline(deadline)
+		rc.SetWriteDeadline(deadline)
+	}
+	extend()
+	defer func() {
+		// As in handleScore: keep-alive connections outlive the stream.
+		rc.SetReadDeadline(time.Time{})
+		rc.SetWriteDeadline(time.Time{})
+	}()
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	br := data.NewNDJSONBatchReader(req.Body, m.Mapper.Attrs(), streamChunkSize)
+	body := &extendingReader{r: req.Body, extend: extend}
+	br := data.NewNDJSONBatchReader(body, m.Mapper.Attrs(), streamChunkSize)
 	bs := artifact.NewBatchScorerFor(m.Scorer, m.Mapper)
 	rows, err := bs.ScoreAll(br, func(b *data.Batch, scores []float64) error {
 		// Validate the whole chunk before emitting any of it, so the
@@ -203,19 +433,35 @@ func streamScores(w http.ResponseWriter, m *Model, req *http.Request) {
 				return err
 			}
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		rc.Flush()
+		extend()
 		return nil
 	})
+	s.rows.With(name).Add(uint64(rows))
 	trailer := StreamTrailer{Done: err == nil, Rows: rows}
 	if err != nil {
+		s.errors.With(name, "stream").Inc()
 		trailer.Error = err.Error()
 	}
 	enc.Encode(trailer)
-	if flusher != nil {
-		flusher.Flush()
+	rc.Flush()
+}
+
+// extendingReader pushes the stream deadlines forward whenever bytes
+// arrive from the client, so the per-chunk deadline cuts off only
+// genuinely stalled senders — a slow but active feed (even below one
+// chunk per StreamTimeout) keeps its stream alive.
+type extendingReader struct {
+	r      io.Reader
+	extend func()
+}
+
+func (e *extendingReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if n > 0 {
+		e.extend()
 	}
+	return n, err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

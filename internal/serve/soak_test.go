@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/data"
+)
+
+// TestReloadSoak is the rollover soak: ReloadDir flips the whole model set
+// between two versions (and Register rolls the main model alone) while
+// /score, /score/stream and /models requests are in flight. Run under
+// -race it pins the registry's concurrency safety; its assertions pin
+// atomicity — every response must be explainable by exactly one complete
+// model set, never a half-swapped one:
+//
+//   - every score equals version 1's or version 2's prediction exactly;
+//   - all rows within one response agree on a single version (a request
+//     holds one model pointer for its whole lifetime);
+//   - /models always reports a complete set (the main model is never
+//     absent, the model count never drops to zero or mixes sets).
+func TestReloadSoak(t *testing.T) {
+	dirA := t.TempDir()
+	dirB := t.TempDir()
+	v1 := trainFixture(t, dirA, "cp-8-tree", labelV1)
+	v2 := trainFixture(t, dirB, "cp-8-tree", labelV2)
+	trainFixture(t, dirB, "extra", labelV1) // dirB rolls out a second model too
+
+	probeRow := []float64{1700, 1, data.Missing}
+	wantV1 := v1.PredictProb(probeRow)
+	wantV2 := v2.PredictProb(probeRow)
+	if wantV1 == wantV2 {
+		t.Fatal("fixture versions must predict differently for the probe")
+	}
+	isVersioned := func(risk float64) bool { return risk == wantV1 || risk == wantV2 }
+
+	// The artifact used by the single-model Register rollover path.
+	artA, err := artifact.ReadFile(dirA + "/cp-8-tree.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	if _, err := reg.LoadDir(dirA); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{MaxInFlight: 1024})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const (
+		reloaders = 2
+		scorers   = 4
+		streamers = 2
+		listers   = 2
+		iters     = 40
+	)
+	probeJSON, _ := json.Marshal(ScoreRequest{Model: "cp-8-tree", Segments: []map[string]any{
+		{"aadt": 1700.0, "surface": "gravel"},
+		{"aadt": 1700.0, "surface": "gravel"},
+		{"aadt": 1700.0, "surface": "gravel"},
+	}})
+	streamBody := strings.Repeat("{\"aadt\": 1700, \"surface\": \"gravel\"}\n", 64)
+
+	errs := make(chan error, reloaders+scorers+streamers+listers+1)
+	var wg sync.WaitGroup
+	for g := 0; g < reloaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				dir := dirA
+				if (g+k)%2 == 0 {
+					dir = dirB
+				}
+				if _, err := reg.ReloadDir(dir); err != nil {
+					errs <- fmt.Errorf("reloader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// One goroutine exercises the single-model Register rollover in the
+	// same storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < iters; k++ {
+			if _, err := reg.Register(artA); err != nil {
+				errs <- fmt.Errorf("register: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < scorers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader(probeJSON))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var sr ScoreResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK || len(sr.Scores) != 3 {
+					errs <- fmt.Errorf("scorer %d: status %d, %d scores", g, resp.StatusCode, len(sr.Scores))
+					return
+				}
+				for i, sc := range sr.Scores {
+					if !isVersioned(sc.Risk) {
+						errs <- fmt.Errorf("scorer %d: row %d risk %v matches neither version (%v / %v)", g, i, sc.Risk, wantV1, wantV2)
+						return
+					}
+					if sc.Risk != sr.Scores[0].Risk {
+						errs <- fmt.Errorf("scorer %d: one response mixed versions: %v vs %v", g, sc.Risk, sr.Scores[0].Risk)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < streamers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < iters/4; k++ {
+				resp, scores, trailer := postStream(t, srv.URL, "cp-8-tree", streamBody)
+				if resp.StatusCode != http.StatusOK || !trailer.Done || len(scores) != 64 {
+					errs <- fmt.Errorf("streamer %d: status %d, trailer %+v, %d scores", g, resp.StatusCode, trailer, len(scores))
+					return
+				}
+				for i, sc := range scores {
+					if !isVersioned(sc.Risk) {
+						errs <- fmt.Errorf("streamer %d: row %d risk %v matches neither version", g, i, sc.Risk)
+						return
+					}
+					if sc.Risk != scores[0].Risk {
+						errs <- fmt.Errorf("streamer %d: one stream mixed versions mid-flight", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < listers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				resp, err := http.Get(srv.URL + "/models")
+				if err != nil {
+					errs <- err
+					return
+				}
+				var list struct {
+					Models []ModelInfo `json:"models"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&list)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				names := make([]string, 0, len(list.Models))
+				for _, m := range list.Models {
+					names = append(names, m.Name)
+				}
+				set := strings.Join(names, ",")
+				// Complete sets only: dirA's {cp-8-tree} or dirB's
+				// {cp-8-tree, extra} (sorted) — never empty, never a
+				// mixture missing the main model.
+				if set != "cp-8-tree" && set != "cp-8-tree,extra" {
+					errs <- fmt.Errorf("lister %d: half-swapped registry listing %q", g, set)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
