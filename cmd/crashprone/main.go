@@ -515,6 +515,7 @@ func cmdServe(args []string) error {
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent scoring requests admitted before 429 (0 = default 256)")
 	timeout := fs.Duration("timeout", 0, "/score request deadline (0 = default 30s)")
 	streamTimeout := fs.Duration("stream-timeout", 0, "/score/stream per-chunk deadline (0 = default 30s)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 429 rejections, rounded up to seconds (0 = default 1s)")
 	drain := fs.Duration("drain", 30*time.Second, "in-flight drain window on shutdown")
 	reload := fs.Bool("reload", false, "enable POST /reload to hot-swap the model set from -dir")
 	if err := fs.Parse(args); err != nil {
@@ -546,6 +547,7 @@ func cmdServe(args []string) error {
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *timeout,
 		StreamTimeout:  *streamTimeout,
+		RetryAfter:     *retryAfter,
 	}
 	if *reload {
 		cfg.ReloadDir = *dir

@@ -4,17 +4,34 @@ import (
 	"fmt"
 	"io"
 
+	"roadcrash/internal/compiled"
 	"roadcrash/internal/data"
 )
 
+// Compile lowers a decoded learner into its compiled evaluation form —
+// flat trees, precomputed Bayes tables, fused ensembles — via the compile
+// step in internal/compiled. Compiled predictions are bit-identical to the
+// interpreted learner's; unrecognized scorers pass through unchanged, so
+// compiling is always safe. The serving registry and the batch scorer
+// call this automatically at artifact load.
+func Compile(s Scorer) Scorer {
+	return compiled.Compile(s)
+}
+
 // BatchScorer is the out-of-core scoring path: it maps columnar batches
-// into the model's training schema and scores them row by row without ever
+// into the model's training schema and scores them without ever
 // materializing a Dataset. The mapping semantics are exactly RowMapper's —
 // columns matched by name, absent schema columns scored as missing,
 // nominal levels re-indexed by name with unseen levels treated as missing
 // — so chunked scores are bit-identical to MapDataset + Score over the
-// same rows. One row buffer and one score buffer are reused across
-// batches: scoring memory is bounded by the chunk size, not the feed size.
+// same rows.
+//
+// The scorer is compiled at construction. When the compiled form supports
+// columnar evaluation (every artifact learner kind does), each batch is
+// mapped column-wise into reused schema-ordered buffers and scored in one
+// ScoreColumns call — no per-row map, no per-row buffer fill, zero
+// allocations in steady state. Scorers without a columnar form fall back
+// to the row-at-a-time path over a reused row buffer.
 //
 // A BatchScorer carries per-stream binding state and must not be shared
 // across goroutines or fed interleaved streams; build one per stream
@@ -22,6 +39,7 @@ import (
 type BatchScorer struct {
 	mapper *RowMapper
 	scorer Scorer
+	cs     compiled.ColumnScorer // nil when the scorer has no columnar form
 
 	// bindings maps each model schema column to its source in the stream
 	// schema; built on the first batch, refreshed when nominal level sets
@@ -30,9 +48,10 @@ type BatchScorer struct {
 	bound    bool
 	srcAttrs []data.Attribute
 
-	row  []float64
-	out  []float64
-	rows int // rows scored so far, for error positions
+	row    []float64
+	mapped [][]float64 // reused schema-ordered columns for the columnar path
+	out    []float64
+	rows   int // rows scored so far, for error positions
 }
 
 // binding is one model schema column's source in the stream schema.
@@ -43,8 +62,8 @@ type binding struct {
 	remap  []float64 // nominal: stream level index -> model level value
 }
 
-// NewBatchScorer decodes the artifact's model and prepares a batch scorer
-// for it.
+// NewBatchScorer decodes the artifact's model, compiles it and prepares a
+// batch scorer for it.
 func NewBatchScorer(a *Artifact) (*BatchScorer, error) {
 	scorer, err := a.Model()
 	if err != nil {
@@ -59,13 +78,20 @@ func NewBatchScorer(a *Artifact) (*BatchScorer, error) {
 
 // NewBatchScorerFor wraps an already-decoded model and its row mapper —
 // the constructor for callers that hold both, like the scoring service's
-// model registry.
+// model registry. The scorer is compiled here (a no-op if the caller
+// already compiled it).
 func NewBatchScorerFor(scorer Scorer, mapper *RowMapper) *BatchScorer {
-	return &BatchScorer{
+	scorer = Compile(scorer)
+	bs := &BatchScorer{
 		mapper: mapper,
 		scorer: scorer,
 		row:    make([]float64, mapper.Width()),
 	}
+	if cs, ok := compiled.Columnar(scorer); ok {
+		bs.cs = cs
+		bs.mapped = make([][]float64, mapper.Width())
+	}
+	return bs
 }
 
 // Mapper returns the row mapper aligning stream columns to the model
@@ -146,6 +172,14 @@ func (bs *BatchScorer) ScoreBatch(b *data.Batch) ([]float64, error) {
 		bs.out = make([]float64, n)
 	}
 	bs.out = bs.out[:n]
+	if bs.cs != nil {
+		if err := bs.mapColumns(b, n); err != nil {
+			return nil, err
+		}
+		bs.cs.ScoreColumns(bs.mapped, bs.out)
+		bs.rows += n
+		return bs.out, nil
+	}
 	for i := 0; i < n; i++ {
 		for j := range bs.bindings {
 			bd := &bs.bindings[j]
@@ -171,6 +205,59 @@ func (bs *BatchScorer) ScoreBatch(b *data.Batch) ([]float64, error) {
 	}
 	bs.rows += n
 	return bs.out, nil
+}
+
+// mapColumns lays the batch out as schema-ordered columns in the reused
+// mapped buffers — the columnar twin of the per-row mapping loop. Binary
+// validation reports the same row as the row-at-a-time path would: the
+// lowest bad row, breaking ties on the lowest schema column (a column with
+// an earlier bad row would have made that row the lowest).
+func (bs *BatchScorer) mapColumns(b *data.Batch, n int) error {
+	errRow, errCol := -1, -1
+	for j := range bs.bindings {
+		bd := &bs.bindings[j]
+		if cap(bs.mapped[j]) < n {
+			bs.mapped[j] = make([]float64, n)
+		}
+		col := bs.mapped[j][:n]
+		bs.mapped[j] = col
+		switch {
+		case bd.src < 0:
+			for i := range col {
+				col[i] = data.Missing
+			}
+		case bd.direct:
+			src := b.Col(bd.src)
+			copy(col, src[:n])
+			if bd.binary {
+				for i, v := range col {
+					if !data.IsMissing(v) && v != 0 && v != 1 {
+						if errRow < 0 || i < errRow {
+							errRow, errCol = i, j
+						}
+						break
+					}
+				}
+			}
+		default:
+			src := b.Col(bd.src)
+			remap := bd.remap
+			for i := 0; i < n; i++ {
+				v := src[i]
+				if data.IsMissing(v) || int(v) < 0 || int(v) >= len(remap) {
+					col[i] = data.Missing
+				} else {
+					col[i] = remap[int(v)]
+				}
+			}
+		}
+	}
+	if errRow >= 0 {
+		bd := &bs.bindings[errCol]
+		return fmt.Errorf("artifact: row %d: binary attribute %q got %v",
+			bs.rows+errRow, bs.mapper.attrs[errCol].Name, b.At(errRow, bd.src))
+	}
+	return nil
 }
 
 // ScoreAll drains a batch reader through the scorer, calling emit once per

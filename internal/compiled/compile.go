@@ -1,0 +1,39 @@
+package compiled
+
+import (
+	"roadcrash/internal/mining/bayes"
+	"roadcrash/internal/mining/ensemble"
+	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/tree"
+)
+
+// Compile lowers a decoded learner into its compiled evaluation form.
+// Every artifact learner kind maps to a ColumnScorer: trees flatten,
+// naive Bayes precomputes its log-probability tables, ensembles compile
+// their members, and logistic models (already columnar via buffer-reusing
+// ScoreColumns) pass through. An unrecognized scorer is returned
+// unchanged, so callers can compile unconditionally — interpretation is
+// the graceful fallback, never an error.
+func Compile(s Scorer) Scorer {
+	switch m := s.(type) {
+	case *tree.Tree:
+		return m.Compile()
+	case *bayes.Model:
+		return m.Compile()
+	case *ensemble.Bagging:
+		return m.Compile()
+	case *ensemble.AdaBoost:
+		return m.Compile()
+	case *logit.Model:
+		return m
+	}
+	return s
+}
+
+// Columnar reports whether the scorer supports columnar batch evaluation,
+// returning the ColumnScorer view when it does. Compiled forms always do;
+// an interpreted fallback does not.
+func Columnar(s Scorer) (ColumnScorer, bool) {
+	cs, ok := s.(ColumnScorer)
+	return cs, ok
+}

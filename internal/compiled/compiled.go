@@ -1,0 +1,29 @@
+// Package compiled is the compile step of the inference engine: it lowers
+// every decoded learner into its cache-friendly evaluation form — flat
+// array-encoded trees, precomputed naive-Bayes log-probability tables,
+// ensembles fused over compiled members — behind one dispatch point. The
+// contract is strict bit-identity: a compiled scorer returns exactly the
+// probabilities of the interpreted learner it was lowered from, so the
+// serving stack can compile unconditionally at artifact load and every
+// golden table, probe grid and differential test pins both paths at once.
+//
+// The package sits between the model packages (which own their compiled
+// forms, next to the state they lower) and the artifact/serving layers
+// (which only see the Scorer and ColumnScorer interfaces).
+package compiled
+
+// Scorer is the row-at-a-time prediction interface, structurally identical
+// to artifact.Scorer (declared here too so the artifact layer can depend
+// on this package without a cycle).
+type Scorer interface {
+	PredictProb(row []float64) float64
+}
+
+// ColumnScorer is the columnar batch-evaluation interface the compiled
+// forms add: ScoreColumns scores every row of a schema-ordered columnar
+// block (one slice per attribute, each len(out) long) into out, with no
+// allocation, safely under concurrency.
+type ColumnScorer interface {
+	Scorer
+	ScoreColumns(cols [][]float64, out []float64)
+}

@@ -1,0 +1,323 @@
+package compiled_test
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/compiled"
+	"roadcrash/internal/data"
+	"roadcrash/internal/mining/bayes"
+	"roadcrash/internal/mining/ensemble"
+	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/rng"
+	"roadcrash/internal/roadnet"
+)
+
+// trainDataset builds a mixed-kind training set whose attribute names
+// overlap the roadnet scenario schema, so the stream differential can
+// drive trained models with live ScenarioStream traffic. The surface
+// attribute deliberately trains on only two of the three scenario levels:
+// "concrete" rows arriving from a stream are unseen levels and must score
+// as missing on both engines.
+func trainDataset(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("compile-train").
+		Interval(roadnet.AttrAADT).
+		Interval(roadnet.AttrSealAge).
+		Nominal(roadnet.AttrSurface, "asphalt", "spray-seal").
+		Binary(roadnet.AttrWetCrash).
+		Binary("label").
+		Interval("label_num")
+	for i := 0; i < n; i++ {
+		aadt := 500 + 4000*r.Float64()
+		age := 25 * r.Float64()
+		surface := float64(r.Intn(2))
+		wet := float64(r.Intn(2))
+		score := aadt/1000 + 0.2*age + 0.8*surface + 0.5*wet + r.Normal(0, 0.7)
+		label := 0.0
+		if score > 3.4 {
+			label = 1
+		}
+		if r.Float64() < 0.06 {
+			age = data.Missing
+		}
+		if r.Float64() < 0.06 {
+			surface = data.Missing
+		}
+		b.Row(aadt, age, surface, wet, label, label)
+	}
+	return b.Build()
+}
+
+// learners fits one model per artifact learner kind on the training set.
+func learners(t testing.TB, ds *data.Dataset) map[artifact.Kind]artifact.Scorer {
+	t.Helper()
+	binCol := ds.MustAttrIndex("label")
+	numCol := ds.MustAttrIndex("label_num")
+	feats := []int{0, 1, 2, 3}
+
+	tCfg := tree.DefaultConfig()
+	tCfg.MinLeaf = 10
+	tCfg.Features = feats
+	dt, err := tree.Grow(ds, binCol, tCfg)
+	if err != nil {
+		t.Fatalf("decision tree: %v", err)
+	}
+	rt, err := tree.GrowRegression(ds, numCol, tCfg)
+	if err != nil {
+		t.Fatalf("regression tree: %v", err)
+	}
+	nbCfg := bayes.DefaultConfig()
+	nbCfg.Features = feats
+	nb, err := bayes.Train(ds, binCol, nbCfg)
+	if err != nil {
+		t.Fatalf("naive bayes: %v", err)
+	}
+	lrCfg := logit.DefaultConfig()
+	lrCfg.Exclude = []string{"label_num"}
+	lr, err := logit.Train(ds, binCol, lrCfg)
+	if err != nil {
+		t.Fatalf("logit: %v", err)
+	}
+	bagCfg := ensemble.DefaultBaggingConfig()
+	bagCfg.Trees = 5
+	bagCfg.Tree = tCfg
+	bag, err := ensemble.TrainBagging(ds, binCol, bagCfg)
+	if err != nil {
+		t.Fatalf("bagging: %v", err)
+	}
+	adaCfg := ensemble.DefaultAdaBoostConfig()
+	adaCfg.Rounds = 5
+	adaCfg.Tree.MinLeaf = 10
+	adaCfg.Tree.Features = feats
+	ada, err := ensemble.TrainAdaBoost(ds, binCol, adaCfg)
+	if err != nil {
+		t.Fatalf("adaboost: %v", err)
+	}
+	return map[artifact.Kind]artifact.Scorer{
+		artifact.KindDecisionTree:   dt,
+		artifact.KindRegressionTree: rt,
+		artifact.KindNaiveBayes:     nb,
+		artifact.KindLogistic:       lr,
+		artifact.KindBagging:        bag,
+		artifact.KindAdaBoost:       ada,
+	}
+}
+
+// probeRows builds a grid over the full input space: every combination of
+// present/missing interval values, every trained nominal level plus
+// missing, both binary values plus missing.
+func probeRows() [][]float64 {
+	var rows [][]float64
+	for _, aadt := range []float64{300, 1800, 4400, data.Missing} {
+		for _, age := range []float64{0.5, 12, 30, data.Missing} {
+			for surface := -1; surface < 2; surface++ {
+				sv := float64(surface)
+				if surface < 0 {
+					sv = data.Missing
+				}
+				for _, wet := range []float64{0, 1, data.Missing} {
+					rows = append(rows, []float64{aadt, age, sv, wet, data.Missing, data.Missing})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// transpose lays rows out as schema-ordered columns.
+func transpose(rows [][]float64) [][]float64 {
+	cols := make([][]float64, len(rows[0]))
+	for j := range cols {
+		cols[j] = make([]float64, len(rows))
+		for i, row := range rows {
+			cols[j][i] = row[j]
+		}
+	}
+	return cols
+}
+
+func bitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestCompiledBitIdenticalOnProbes pins the compile contract per learner
+// kind: over the whole probe grid — missing values in every attribute
+// kind included — the compiled scorer's PredictProb and ScoreColumns both
+// reproduce the interpreted model's probability down to the float bits.
+func TestCompiledBitIdenticalOnProbes(t *testing.T) {
+	ds := trainDataset(600, 11)
+	rows := probeRows()
+	cols := transpose(rows)
+	for kind, interp := range learners(t, ds) {
+		cs, ok := compiled.Columnar(compiled.Compile(interp))
+		if !ok {
+			t.Fatalf("%s: compiled form has no columnar engine", kind)
+		}
+		out := make([]float64, len(rows))
+		cs.ScoreColumns(cols, out)
+		for i, row := range rows {
+			want := interp.PredictProb(row)
+			if got := cs.PredictProb(row); !bitEqual(got, want) {
+				t.Errorf("%s: probe %d: compiled PredictProb %v, interpreted %v", kind, i, got, want)
+			}
+			if !bitEqual(out[i], want) {
+				t.Errorf("%s: probe %d: ScoreColumns %v, interpreted %v", kind, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestCompileDispatch pins the lowering table: every artifact learner kind
+// compiles to a columnar scorer, compiling twice is a no-op, and a scorer
+// the compiler does not recognize passes through unchanged (interpretation
+// is the fallback, not an error).
+func TestCompileDispatch(t *testing.T) {
+	ds := trainDataset(600, 11)
+	for kind, interp := range learners(t, ds) {
+		c := compiled.Compile(interp)
+		if _, ok := compiled.Columnar(c); !ok {
+			t.Errorf("%s: Compile result is not a ColumnScorer", kind)
+		}
+		if again := compiled.Compile(c); again != c {
+			t.Errorf("%s: compiling a compiled scorer must be a no-op", kind)
+		}
+	}
+	plain := constScorer(0.25)
+	if got := compiled.Compile(plain); got != plain {
+		t.Errorf("unknown scorer was not passed through: %T", got)
+	}
+	if _, ok := compiled.Columnar(plain); ok {
+		t.Error("plain scorer claims a columnar engine")
+	}
+}
+
+// constScorer is an opaque learner the compiler has no lowering for.
+type constScorer float64
+
+func (c constScorer) PredictProb([]float64) float64 { return float64(c) }
+
+// interpretedOnly hides any columnar engine, forcing artifact.BatchScorer
+// onto the interpreted row-at-a-time path.
+type interpretedOnly struct{ s artifact.Scorer }
+
+func (w interpretedOnly) PredictProb(row []float64) float64 { return w.s.PredictProb(row) }
+
+// scenarioScores streams n rows of scenario traffic through a batch
+// scorer at the given chunk size and returns every score. Both calls in
+// the differential build their own stream with identical options, so the
+// two engines see identical rows.
+func scenarioScores(t *testing.T, bs *artifact.BatchScorer, n, chunk int) []float64 {
+	t.Helper()
+	opt := roadnet.DefaultScenarioOptions(n)
+	opt.ChunkSize = chunk
+	opt.Seed = 77
+	stream, err := roadnet.NewScenarioStream(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	total, err := bs.ScoreAll(stream, func(b *data.Batch, scores []float64) error {
+		out = append(out, scores...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("scored %d rows, want %d", total, n)
+	}
+	return out
+}
+
+// TestCompiledStreamDifferential is the end-to-end equivalence sweep the
+// tentpole demands: for every learner kind, live ScenarioStream traffic —
+// wet/dry regimes, injected missing values, the unseen "concrete" surface
+// level — scored through the interpreted row-at-a-time path and through
+// the compiled columnar path must agree bit for bit at every chunk size
+// from 1 to 2^20 (the last exceeding the row count, so one batch carries
+// the whole stream).
+func TestCompiledStreamDifferential(t *testing.T) {
+	ds := trainDataset(600, 11)
+	schema := ds.Attrs()
+	const rows = 3000
+	for kind, interp := range learners(t, ds) {
+		a, err := artifact.New("diff", kind, interp, schema, 8, 1, "label", nil)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		chunks := []int{1, 7, 64, 1024, 1 << 20}
+		var want []float64
+		for _, chunk := range chunks {
+			mapperI, err := artifact.NewRowMapper(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapperC, err := artifact.NewRowMapper(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interpBS := artifact.NewBatchScorerFor(interpretedOnly{interp}, mapperI)
+			compiledBS := artifact.NewBatchScorerFor(interp, mapperC)
+			got := scenarioScores(t, interpBS, rows, chunk)
+			comp := scenarioScores(t, compiledBS, rows, chunk)
+			for i := range got {
+				if !bitEqual(got[i], comp[i]) {
+					t.Fatalf("%s chunk=%d row %d: interpreted %v, compiled %v", kind, chunk, i, got[i], comp[i])
+				}
+			}
+			if want == nil {
+				want = append(want, got...)
+			} else {
+				for i := range got {
+					if !bitEqual(got[i], want[i]) {
+						t.Fatalf("%s chunk=%d row %d: score %v differs from chunk=1's %v", kind, chunk, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledBatchScorerErrorsMatch pins the mapping-error contract of
+// the columnar path: a binary attribute carrying a non-0/1 value must be
+// reported with the same row position the row-at-a-time path reports,
+// including across chunks (absolute row numbers) and when a lower-indexed
+// row in a later column is the first offender.
+func TestCompiledBatchScorerErrorsMatch(t *testing.T) {
+	ds := trainDataset(600, 11)
+	interp := learners(t, ds)[artifact.KindDecisionTree]
+	a, err := artifact.New("err", artifact.KindDecisionTree, interp, ds.Attrs(), 8, 1, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The feed declares the binary schema columns as interval so invalid
+	// 0/1 values reach the scorer's own validation (the direct binding
+	// accepts any non-nominal feed kind for a binary schema column).
+	feed := data.NewBuilder("feed").
+		Interval(roadnet.AttrAADT).
+		Interval(roadnet.AttrWetCrash).
+		Interval("label")
+	feed.Row(100, 0, 0)
+	feed.Row(200, 1, 0)
+	feed.Row(300, 3, 0) // bad wet_crash at absolute row 2
+	feed.Row(400, 0, 5) // bad label at row 3 — later, must not win
+	fd := feed.Build()
+
+	for _, chunk := range []int{1, 2, 100} {
+		mapperI, _ := artifact.NewRowMapper(a)
+		mapperC, _ := artifact.NewRowMapper(a)
+		interpBS := artifact.NewBatchScorerFor(interpretedOnly{interp}, mapperI)
+		compiledBS := artifact.NewBatchScorerFor(interp, mapperC)
+		_, errI := interpBS.ScoreAll(fd.Stream(chunk), nil)
+		_, errC := compiledBS.ScoreAll(fd.Stream(chunk), nil)
+		if errI == nil || errC == nil {
+			t.Fatalf("chunk=%d: bad binary value not rejected (interp %v, compiled %v)", chunk, errI, errC)
+		}
+		if errI.Error() != errC.Error() {
+			t.Fatalf("chunk=%d: interpreted error %q, compiled error %q", chunk, errI, errC)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package data
+
+import (
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// This file is the hand-rolled NDJSON object scanner behind
+// NDJSONBatchReader. It exists for two reasons. Correctness: the generic
+// encoding/json path decodes each line into a map, where duplicate keys
+// silently resolve last-wins — {"aadt":1,"aadt":9} would score 9 with no
+// error anywhere — while this scanner sees every key in document order and
+// rejects duplicates per row. Speed: one row costs a single left-to-right
+// pass with no intermediate map, no interface boxing and no reflection,
+// which matters once the compiled inference engine makes parsing, not
+// scoring, the streaming hot path.
+//
+// The accepted value grammar matches the documented feed format (numbers,
+// strings, true/false, null; objects and arrays are rejected as
+// unsupported values). String decoding follows encoding/json: the four-hex
+// \uXXXX escape with UTF-16 surrogate pairs, unpaired surrogates and
+// invalid UTF-8 replaced by U+FFFD, raw control characters rejected.
+
+// lineScanner walks one NDJSON line.
+type lineScanner struct {
+	buf []byte
+	pos int
+}
+
+// skipSpace advances past JSON whitespace.
+func (s *lineScanner) skipSpace() {
+	for s.pos < len(s.buf) {
+		switch s.buf[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+// eat consumes c if it is the next byte.
+func (s *lineScanner) eat(c byte) bool {
+	if s.pos < len(s.buf) && s.buf[s.pos] == c {
+		s.pos++
+		return true
+	}
+	return false
+}
+
+// syntaxErr reports what was expected at the current position.
+func (s *lineScanner) syntaxErr(want string) error {
+	if s.pos >= len(s.buf) {
+		return fmt.Errorf("unexpected end of object, want %s", want)
+	}
+	return fmt.Errorf("unexpected character %q at offset %d, want %s", s.buf[s.pos], s.pos, want)
+}
+
+// scanString consumes a JSON string and returns its decoded bytes. The
+// fast path — no escapes, no control bytes, no non-ASCII — returns a
+// zero-copy slice of the line; anything else goes through decodeString.
+// The opening quote must already be the next byte.
+func (s *lineScanner) scanString() ([]byte, error) {
+	if !s.eat('"') {
+		return nil, s.syntaxErr("a string")
+	}
+	start := s.pos
+	for i := s.pos; i < len(s.buf); i++ {
+		c := s.buf[i]
+		switch {
+		case c == '"':
+			s.pos = i + 1
+			return s.buf[start:i], nil
+		case c == '\\' || c >= utf8.RuneSelf:
+			return s.decodeString(start)
+		case c < 0x20:
+			return nil, fmt.Errorf("raw control character %q in string at offset %d", c, i)
+		}
+	}
+	return nil, fmt.Errorf("unterminated string at offset %d", start-1)
+}
+
+// decodeString is the slow path: it resumes at offset start (inside the
+// string) and decodes escapes and UTF-8 exactly as encoding/json does —
+// \uXXXX with surrogate pairs, unpaired surrogates and invalid UTF-8
+// collapsing to U+FFFD.
+func (s *lineScanner) decodeString(start int) ([]byte, error) {
+	out := make([]byte, 0, len(s.buf)-start+8)
+	out = append(out, s.buf[start:s.pos]...)
+	i := s.pos
+	for i < len(s.buf) {
+		c := s.buf[i]
+		switch {
+		case c == '"':
+			s.pos = i + 1
+			return out, nil
+		case c < 0x20:
+			return nil, fmt.Errorf("raw control character %q in string at offset %d", c, i)
+		case c == '\\':
+			i++
+			if i >= len(s.buf) {
+				return nil, fmt.Errorf("unterminated escape at offset %d", i-1)
+			}
+			switch s.buf[i] {
+			case '"', '\\', '/':
+				out = append(out, s.buf[i])
+				i++
+			case 'b':
+				out = append(out, '\b')
+				i++
+			case 'f':
+				out = append(out, '\f')
+				i++
+			case 'n':
+				out = append(out, '\n')
+				i++
+			case 'r':
+				out = append(out, '\r')
+				i++
+			case 't':
+				out = append(out, '\t')
+				i++
+			case 'u':
+				r, n, err := s.decodeHexRune(i - 1)
+				if err != nil {
+					return nil, err
+				}
+				out = utf8.AppendRune(out, r)
+				i += n - 1
+			default:
+				return nil, fmt.Errorf("invalid escape \\%c at offset %d", s.buf[i], i-1)
+			}
+		case c < utf8.RuneSelf:
+			out = append(out, c)
+			i++
+		default:
+			r, size := utf8.DecodeRune(s.buf[i:])
+			if r == utf8.RuneError && size == 1 {
+				out = utf8.AppendRune(out, utf8.RuneError)
+				i++
+				continue
+			}
+			out = append(out, s.buf[i:i+size]...)
+			i += size
+		}
+	}
+	return nil, fmt.Errorf("unterminated string")
+}
+
+// decodeHexRune decodes the \uXXXX escape starting at offset i (the
+// backslash), pairing UTF-16 surrogates; unpaired surrogates become
+// U+FFFD. It returns the rune and the bytes consumed from the backslash
+// on.
+func (s *lineScanner) decodeHexRune(i int) (rune, int, error) {
+	r1, err := hex4(s.buf, i+2)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !utf16.IsSurrogate(r1) {
+		return r1, 6, nil
+	}
+	// A high surrogate may pair with a following \uXXXX low surrogate.
+	if i+12 <= len(s.buf) && s.buf[i+6] == '\\' && s.buf[i+7] == 'u' {
+		r2, err := hex4(s.buf, i+8)
+		if err == nil {
+			if r := utf16.DecodeRune(r1, r2); r != utf8.RuneError {
+				return r, 12, nil
+			}
+		}
+	}
+	return utf8.RuneError, 6, nil
+}
+
+// hex4 parses four hex digits at buf[i:].
+func hex4(buf []byte, i int) (rune, error) {
+	if i+4 > len(buf) {
+		return 0, fmt.Errorf("truncated \\u escape at offset %d", i-2)
+	}
+	var r rune
+	for _, c := range buf[i : i+4] {
+		r <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			r |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			r |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			r |= rune(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("invalid \\u escape digit %q at offset %d", c, i)
+		}
+	}
+	return r, nil
+}
+
+// numberChar reports whether c can appear inside a number token.
+func numberChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+}
+
+// validJSONNumber checks the RFC 8259 number grammar:
+// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?. strconv.ParseFloat is
+// wider ("01", "1.", "1.e5"), and the reader documents strict parsing —
+// a malformed producer must fail here, not at the next JSON tool
+// downstream.
+func validJSONNumber(tok []byte) bool {
+	i := 0
+	if i < len(tok) && tok[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(tok) && tok[i] == '0':
+		i++
+	case i < len(tok) && tok[i] >= '1' && tok[i] <= '9':
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(tok) && tok[i] == '.' {
+		i++
+		if i >= len(tok) || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(tok) && (tok[i] == 'e' || tok[i] == 'E') {
+		i++
+		if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+			i++
+		}
+		if i >= len(tok) || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(tok)
+}
+
+// scanNumber consumes a number token and parses it.
+func (s *lineScanner) scanNumber() (float64, error) {
+	start := s.pos
+	for s.pos < len(s.buf) && numberChar(s.buf[s.pos]) {
+		s.pos++
+	}
+	tok := s.buf[start:s.pos]
+	if !validJSONNumber(tok) {
+		return 0, fmt.Errorf("malformed number %q at offset %d", tok, start)
+	}
+	v, err := strconv.ParseFloat(string(tok), 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed number %q at offset %d", tok, start)
+	}
+	return v, nil
+}
+
+// scanLiteral consumes the given keyword (true/false/null).
+func (s *lineScanner) scanLiteral(word string) error {
+	if len(s.buf)-s.pos < len(word) || string(s.buf[s.pos:s.pos+len(word)]) != word {
+		return s.syntaxErr(fmt.Sprintf("%q", word))
+	}
+	s.pos += len(word)
+	if s.pos < len(s.buf) {
+		if c := s.buf[s.pos]; c != ',' && c != '}' && c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return fmt.Errorf("unexpected character %q after %q at offset %d", c, word, s.pos)
+		}
+	}
+	return nil
+}
+
+// parseLine decodes one NDJSON object into rowBuf (schema order, absent
+// keys missing), scanning the line left to right. Keys are resolved in
+// document order, so unknown attributes and — unlike a decode through a
+// Go map — duplicate keys within one row are rejected with the offending
+// name.
+func (r *NDJSONBatchReader) parseLine(line []byte) error {
+	for j := range r.rowBuf {
+		r.rowBuf[j] = Missing
+	}
+	r.gen++
+	s := lineScanner{buf: line}
+	s.skipSpace()
+	if !s.eat('{') {
+		return fmt.Errorf("data: NDJSON row %d: %v", r.row, s.syntaxErr("'{'"))
+	}
+	s.skipSpace()
+	if !s.eat('}') {
+		for {
+			key, err := s.scanString()
+			if err != nil {
+				return fmt.Errorf("data: NDJSON row %d: %v", r.row, err)
+			}
+			j, ok := r.byName[string(key)]
+			if !ok {
+				return fmt.Errorf("data: NDJSON row %d: unknown attribute %q", r.row, key)
+			}
+			if r.seen[j] == r.gen {
+				return fmt.Errorf("data: NDJSON row %d: duplicate attribute %q", r.row, key)
+			}
+			r.seen[j] = r.gen
+			s.skipSpace()
+			if !s.eat(':') {
+				return fmt.Errorf("data: NDJSON row %d: %v", r.row, s.syntaxErr("':'"))
+			}
+			if err := r.scanValue(&s, j); err != nil {
+				return fmt.Errorf("data: NDJSON row %d: %v", r.row, err)
+			}
+			s.skipSpace()
+			if s.eat(',') {
+				s.skipSpace()
+				continue
+			}
+			if s.eat('}') {
+				break
+			}
+			return fmt.Errorf("data: NDJSON row %d: %v", r.row, s.syntaxErr("',' or '}'"))
+		}
+	}
+	s.skipSpace()
+	if s.pos != len(s.buf) {
+		return fmt.Errorf("data: NDJSON row %d: trailing data %q after object", r.row, s.buf[s.pos:])
+	}
+	return nil
+}
+
+// scanValue consumes one value and stores attribute j's column value in
+// rowBuf (null leaves the missing marker in place). Value conventions per
+// kind match the documented feed format: numbers for interval attributes
+// (or a parsable numeric string), level names for nominal attributes
+// (unseen names are interned as new levels), and 0/1, true/false or the
+// strings "0"/"1"/"true"/"false"/"yes"/"no" for binary attributes.
+func (r *NDJSONBatchReader) scanValue(s *lineScanner, j int) error {
+	s.skipSpace()
+	at := &r.attrs[j]
+	if s.pos >= len(s.buf) {
+		return s.syntaxErr("a value")
+	}
+	switch c := s.buf[s.pos]; {
+	case c == '"':
+		raw, err := s.scanString()
+		if err != nil {
+			return err
+		}
+		switch at.Kind {
+		case Nominal:
+			idx, ok := r.levelIndex[j][string(raw)]
+			if !ok {
+				idx = len(at.Levels)
+				at.Levels = append(at.Levels, string(raw))
+				r.levelIndex[j][string(raw)] = idx
+			}
+			r.rowBuf[j] = float64(idx)
+		case Binary:
+			v, err := parseBinaryWord(raw)
+			if err != nil {
+				return fmt.Errorf("binary attribute %q got %q", at.Name, raw)
+			}
+			r.rowBuf[j] = v
+		default:
+			f, err := strconv.ParseFloat(string(raw), 64)
+			if err != nil {
+				return fmt.Errorf("interval attribute %q got %q", at.Name, raw)
+			}
+			r.rowBuf[j] = f
+		}
+	case c == '-' || (c >= '0' && c <= '9'):
+		v, err := s.scanNumber()
+		if err != nil {
+			return err
+		}
+		switch at.Kind {
+		case Nominal:
+			return fmt.Errorf("nominal attribute %q wants a level name, got number %v", at.Name, v)
+		case Binary:
+			if v != 0 && v != 1 {
+				return fmt.Errorf("binary attribute %q got %v", at.Name, v)
+			}
+		}
+		r.rowBuf[j] = v
+	case c == 't' || c == 'f':
+		word := "true"
+		v := 1.0
+		if c == 'f' {
+			word, v = "false", 0
+		}
+		if err := s.scanLiteral(word); err != nil {
+			return err
+		}
+		if at.Kind != Binary {
+			return fmt.Errorf("attribute %q is %s, got a boolean", at.Name, at.Kind)
+		}
+		r.rowBuf[j] = v
+	case c == 'n':
+		return s.scanLiteral("null") // missing: rowBuf keeps its marker
+	case c == '{':
+		return fmt.Errorf("attribute %q has unsupported value type object", at.Name)
+	case c == '[':
+		return fmt.Errorf("attribute %q has unsupported value type array", at.Name)
+	default:
+		return s.syntaxErr("a value")
+	}
+	return nil
+}
+
+// parseBinaryWord maps the accepted binary string forms to 0/1.
+func parseBinaryWord(raw []byte) (float64, error) {
+	switch len(raw) {
+	case 1:
+		switch raw[0] {
+		case '0':
+			return 0, nil
+		case '1':
+			return 1, nil
+		}
+	case 2:
+		if lowerEq(raw, "no") {
+			return 0, nil
+		}
+	case 3:
+		if lowerEq(raw, "yes") {
+			return 1, nil
+		}
+	case 4:
+		if lowerEq(raw, "true") {
+			return 1, nil
+		}
+	case 5:
+		if lowerEq(raw, "false") {
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("not a binary word")
+}
+
+// lowerEq reports whether raw equals the lowercase word ASCII
+// case-insensitively.
+func lowerEq(raw []byte, word string) bool {
+	for i := 0; i < len(word); i++ {
+		if raw[i]|0x20 != word[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// AppendJSONString appends the JSON string encoding of s (quotes
+// included). It exists because strconv.AppendQuote emits Go escapes —
+// \x7f for DEL, \U000e0000 for unprintable astral runes — that no JSON
+// parser accepts, so any writer quoting attribute names or nominal levels
+// with it produces lines its own reader rejects. Here quotes and
+// backslashes are escaped, control characters take their \u00XX (or
+// shorthand) form, every other valid rune is emitted raw, and invalid
+// UTF-8 collapses to U+FFFD exactly as encoding/json does.
+func AppendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				buf = append(buf, '\\', '"')
+			case c == '\\':
+				buf = append(buf, '\\', '\\')
+			case c >= 0x20:
+				buf = append(buf, c)
+			case c == '\n':
+				buf = append(buf, '\\', 'n')
+			case c == '\r':
+				buf = append(buf, '\\', 'r')
+			case c == '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = utf8.AppendRune(buf, utf8.RuneError)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return append(buf, '"')
+}

@@ -33,9 +33,15 @@ func FuzzNDJSONBatchReader(f *testing.F) {
 		"{not json}\n",
 		"[1, 2]\n",
 		"{\"x\": {\"nested\": 1}}\n",
-		// Trailing garbage after a valid row; duplicate keys (last wins).
+		// Trailing garbage after a valid row; duplicate keys (rejected —
+		// a map-based decode would silently keep the last value).
 		"{\"x\": 1} extra\n",
 		"{\"x\": 1, \"x\": 2}\n",
+		"{\"flag\": true, \"x\": null, \"flag\": false}\n",
+		// Escapes: surrogate pair, lone surrogate, raw DEL (the strconv
+		// quoting bug's trigger), invalid escape.
+		"{\"s\": \"\\ud83d\\ude00\"}\n{\"s\": \"\\ud800\"}\n{\"s\": \"\x7f\"}\n",
+		"{\"s\": \"\\x41\"}\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

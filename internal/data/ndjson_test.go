@@ -1,0 +1,178 @@
+package data
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// readOne parses a single NDJSON line against the given schema and
+// returns the row values (or the parse error).
+func readOne(t *testing.T, schema []Attribute, line string) ([]float64, []Attribute, error) {
+	t.Helper()
+	br := NewNDJSONBatchReader(strings.NewReader(line), schema, 4)
+	b, err := br.Next()
+	if err != nil {
+		return nil, nil, err
+	}
+	if b.Len() != 1 {
+		t.Fatalf("parsed %d rows from %q", b.Len(), line)
+	}
+	row := make([]float64, len(schema))
+	for j := range row {
+		row[j] = b.At(0, j)
+	}
+	return row, br.Attrs(), nil
+}
+
+// TestNDJSONStringDecoding pins the scanner's JSON string semantics
+// against encoding/json's: every escape form, surrogate pairs, lone
+// surrogates and invalid UTF-8 collapsing to U+FFFD, raw non-ASCII
+// passing through.
+func TestNDJSONStringDecoding(t *testing.T) {
+	schema := []Attribute{{Name: "s", Kind: Nominal}}
+	cases := map[string]string{
+		`{"s": "plain"}`:                     "plain",
+		`{"s": "a\"b\\c\/d"}`:                "a\"b\\c/d",
+		`{"s": "\b\f\n\r\t"}`:                "\b\f\n\r\t",
+		`{"s": "\u0041\u00e9"}`:              "Aé",
+		`{"s": "\ud83d\ude00"}`:              "😀",
+		`{"s": "\ud800"}`:                    "\uFFFD", // lone high surrogate
+		`{"s": "\ud800x"}`:                   "\uFFFDx",
+		`{"s": "\udc00\ud800"}`:              "\uFFFD\uFFFD", // wrong order
+		"{\"s\": \"caf\u00e9\"}":             "café",         // raw UTF-8
+		"{\"s\": \"\x7f\"}":                  "\x7f",         // raw DEL is legal JSON
+		"{\"s\": \"a\xffb\"}":                "a\uFFFDb",     // invalid UTF-8 byte
+		`{"s": "mixed\u0020end"}`:            "mixed end",
+		"{\"s\": \"\xe2\x82\xacok\"}":        "€ok",
+		"{\"s\": \"esc\\n\xe2\x82\xac\x7f\"}": "esc\n€\x7f",
+	}
+	for line, want := range cases {
+		row, attrs, err := readOne(t, schema, line)
+		if err != nil {
+			t.Errorf("%q: %v", line, err)
+			continue
+		}
+		if got := attrs[0].Levels[int(row[0])]; got != want {
+			t.Errorf("%q: level %q, want %q", line, got, want)
+		}
+	}
+}
+
+// TestNDJSONStringErrors pins the scanner's reject set for strings and
+// structure: invalid escapes, truncated escapes, raw control characters,
+// unterminated strings, bad separators and bad literals all fail cleanly.
+func TestNDJSONStringErrors(t *testing.T) {
+	schema := []Attribute{
+		{Name: "s", Kind: Nominal},
+		{Name: "x", Kind: Interval},
+		{Name: "flag", Kind: Binary},
+	}
+	cases := []string{
+		`{"s": "\x41"}`,      // invalid escape
+		`{"s": "\u00"}`,      // truncated \u escape
+		`{"s": "\uZZZZ"}`,    // non-hex \u digits
+		`{"s": "\`,           // escape at end of input
+		`{"s": "open`,        // unterminated string (fast path)
+		`{"s": "open\n`,      // unterminated after escape (slow path)
+		"{\"s\": \"a\x01b\"}", // raw control char (fast path)
+		"{\"s\": \"\\n\x01\"}", // raw control char (slow path)
+		`{"s" "v"}`,          // missing colon
+		`{"s": "v" "x": 1}`,  // missing comma
+		`{"x": trueX}`,       // bad literal tail
+		`{"x": tru}`,         // truncated literal
+		`{"flag": nul}`,      // truncated null
+		`{"x": +5}`,          // '+' cannot start a number
+		`{"x": 5..5}`,        // malformed number
+		`{"x": 01}`,          // leading zero (valid for ParseFloat, not JSON)
+		`{"x": 1.}`,          // trailing dot
+		`{"x": 1.e5}`,        // exponent after bare dot
+		`{"x": .5}`,          // bare leading dot
+		`{"x": -}`,           // sign without digits
+		`{"x": 1e}`,          // exponent without digits
+		`{"x": 1e+}`,         // signed exponent without digits
+		`{1: 2}`,             // non-string key
+		`["x"]`,              // not an object
+		`{"x": 1,}`,          // trailing comma
+		`  `,                 // whitespace only (after blank-skip: EOF is fine)
+	}
+	for _, line := range cases {
+		br := NewNDJSONBatchReader(strings.NewReader(line), schema, 4)
+		_, err := br.Next()
+		if err == nil {
+			t.Errorf("%q: expected an error", line)
+		} else if err == io.EOF && strings.TrimSpace(line) != "" {
+			t.Errorf("%q: got EOF, want a parse error", line)
+		}
+	}
+}
+
+// TestNDJSONValueForms pins the accepted value forms per attribute kind,
+// including the string encodings and whitespace tolerance.
+func TestNDJSONValueForms(t *testing.T) {
+	schema := []Attribute{
+		{Name: "x", Kind: Interval},
+		{Name: "flag", Kind: Binary},
+	}
+	for line, want := range map[string][2]float64{
+		`{ "x" : -12.5e1 , "flag" : true }`:  {-125, 1},
+		`{"x": "3.25", "flag": "YES"}`:       {3.25, 1},
+		`{"x": "Inf", "flag": "FALSE"}`:      {Missing, 0}, // Inf stored, checked below
+		`{"x": null, "flag": "0"}`:           {Missing, 0},
+		`{"flag": "1"}`:                      {Missing, 1},
+		`{"flag": "No"}`:                     {Missing, 0},
+		`{"flag": false}`:                    {Missing, 0},
+	} {
+		row, _, err := readOne(t, schema, line)
+		if err != nil {
+			t.Errorf("%q: %v", line, err)
+			continue
+		}
+		if line == `{"x": "Inf", "flag": "FALSE"}` {
+			if !(row[0] > 0 && row[0]*2 == row[0]) {
+				t.Errorf("%q: x = %v, want +Inf", line, row[0])
+			}
+		} else if IsMissing(want[0]) != IsMissing(row[0]) || (!IsMissing(want[0]) && row[0] != want[0]) {
+			t.Errorf("%q: x = %v, want %v", line, row[0], want[0])
+		}
+		if row[1] != want[1] {
+			t.Errorf("%q: flag = %v, want %v", line, row[1], want[1])
+		}
+	}
+}
+
+// TestAppendJSONString pins the JSON-safe quoting the batch writers use:
+// control characters take \u00XX or shorthand escapes, quotes and
+// backslashes escape, valid UTF-8 passes raw, invalid UTF-8 collapses to
+// U+FFFD — and every output must parse back to the input through the
+// scanner (the round-trip the old strconv quoting broke for DEL).
+func TestAppendJSONString(t *testing.T) {
+	cases := map[string]string{
+		"plain":        `"plain"`,
+		`q"b\`:         `"q\"b\\"`,
+		"nl\ntab\t":    `"nl\ntab\t"`,
+		"cr\r":         `"cr\r"`,
+		"\x00\x01\x1f": `"\u0000\u0001\u001f"`,
+		"\x7f":         "\"\x7f\"",
+		"café€":        `"café€"`,
+		"bad\xffbyte":  "\"bad\uFFFDbyte\"",
+	}
+	schema := []Attribute{{Name: "s", Kind: Nominal}}
+	for in, want := range cases {
+		got := string(AppendJSONString(nil, in))
+		if got != want {
+			t.Errorf("AppendJSONString(%q) = %s, want %s", in, got, want)
+		}
+		// Round-trip through the scanner (invalid UTF-8 already replaced).
+		line := `{"s": ` + got + `}`
+		row, attrs, err := readOne(t, schema, line)
+		if err != nil {
+			t.Errorf("%q: wrote unparsable JSON %s: %v", in, got, err)
+			continue
+		}
+		wantBack := strings.ReplaceAll(in, "\xff", "\uFFFD")
+		if level := attrs[0].Levels[int(row[0])]; level != wantBack {
+			t.Errorf("%q round-tripped to %q", in, level)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -272,7 +271,11 @@ const maxNDJSONLine = 1 << 20
 // (unseen names are interned as new levels), and 0/1, true/false or the
 // strings "0"/"1"/"true"/"false"/"yes"/"no" for binary attributes.
 // Missing values are null or simply omitted keys; unknown keys are
-// rejected so client typos fail loudly. Blank lines are skipped.
+// rejected so client typos fail loudly, and so is a key repeated within
+// one row — a generic JSON decode would silently keep the last value,
+// scoring {"aadt":1,"aadt":9} as 9 with no error anywhere. Blank lines
+// are skipped. Rows are parsed by the hand-rolled scanner in ndjson.go,
+// which allocates nothing per row in steady state.
 type NDJSONBatchReader struct {
 	sc         *bufio.Scanner
 	attrs      []Attribute
@@ -280,6 +283,8 @@ type NDJSONBatchReader struct {
 	levelIndex []map[string]int
 	batch      *Batch
 	rowBuf     []float64
+	seen       []int // per-column generation marks for duplicate-key checks
+	gen        int
 	row        int
 	done       bool
 }
@@ -312,6 +317,7 @@ func NewNDJSONBatchReader(r io.Reader, attrs []Attribute, chunk int) *NDJSONBatc
 		levelIndex: levelIndex,
 		batch:      NewBatch(copied, chunk),
 		rowBuf:     make([]float64, len(copied)),
+		seen:       make([]int, len(copied)),
 	}
 }
 
@@ -362,87 +368,6 @@ func (r *NDJSONBatchReader) nextLine() ([]byte, error) {
 		return nil, fmt.Errorf("data: reading NDJSON row %d: %w", r.row, err)
 	}
 	return nil, io.EOF
-}
-
-// parseLine decodes one NDJSON object into rowBuf (schema order, absent
-// keys missing).
-func (r *NDJSONBatchReader) parseLine(line []byte) error {
-	var obj map[string]any
-	if err := json.Unmarshal(line, &obj); err != nil {
-		return fmt.Errorf("data: NDJSON row %d: %w", r.row, err)
-	}
-	for j := range r.rowBuf {
-		r.rowBuf[j] = Missing
-	}
-	for name, raw := range obj {
-		j, ok := r.byName[name]
-		if !ok {
-			return fmt.Errorf("data: NDJSON row %d: unknown attribute %q", r.row, name)
-		}
-		if raw == nil {
-			continue
-		}
-		v, err := r.parseValue(j, raw)
-		if err != nil {
-			return fmt.Errorf("data: NDJSON row %d: %w", r.row, err)
-		}
-		r.rowBuf[j] = v
-	}
-	return nil
-}
-
-// parseValue converts one decoded JSON value to the column value of
-// attribute j.
-func (r *NDJSONBatchReader) parseValue(j int, raw any) (float64, error) {
-	at := &r.attrs[j]
-	switch v := raw.(type) {
-	case float64:
-		switch at.Kind {
-		case Nominal:
-			return 0, fmt.Errorf("nominal attribute %q wants a level name, got number %v", at.Name, v)
-		case Binary:
-			if v != 0 && v != 1 {
-				return 0, fmt.Errorf("binary attribute %q got %v", at.Name, v)
-			}
-		}
-		return v, nil
-	case bool:
-		if at.Kind != Binary {
-			return 0, fmt.Errorf("attribute %q is %s, got a boolean", at.Name, at.Kind)
-		}
-		if v {
-			return 1, nil
-		}
-		return 0, nil
-	case string:
-		switch at.Kind {
-		case Nominal:
-			idx, ok := r.levelIndex[j][v]
-			if !ok {
-				idx = len(at.Levels)
-				at.Levels = append(at.Levels, v)
-				r.levelIndex[j][v] = idx
-			}
-			return float64(idx), nil
-		case Binary:
-			switch strings.ToLower(v) {
-			case "0", "false", "no":
-				return 0, nil
-			case "1", "true", "yes":
-				return 1, nil
-			default:
-				return 0, fmt.Errorf("binary attribute %q got %q", at.Name, v)
-			}
-		default:
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return 0, fmt.Errorf("interval attribute %q got %q", at.Name, v)
-			}
-			return f, nil
-		}
-	default:
-		return 0, fmt.Errorf("attribute %q has unsupported value type %T", at.Name, raw)
-	}
 }
 
 // ReadNDJSON materializes an NDJSON stream in the given schema — the
@@ -616,11 +541,11 @@ func (w *NDJSONBatchWriter) WriteBatch(b *Batch) error {
 				w.buf = append(w.buf, ',')
 			}
 			first = false
-			w.buf = strconv.AppendQuote(w.buf, a.Name)
+			w.buf = AppendJSONString(w.buf, a.Name)
 			w.buf = append(w.buf, ':')
 			switch {
 			case a.Kind == Nominal:
-				w.buf = strconv.AppendQuote(w.buf, b.Attrs()[j].Levels[int(v)])
+				w.buf = AppendJSONString(w.buf, b.Attrs()[j].Levels[int(v)])
 			case a.Kind == Binary:
 				if v == 1 {
 					w.buf = append(w.buf, "true"...)

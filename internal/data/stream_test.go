@@ -250,12 +250,50 @@ func TestNDJSONReaderErrors(t *testing.T) {
 		`{"x": [1]}`,        // unsupported value type
 		`{"x": true}`,       // boolean into an interval
 		`{"x": 1`,           // malformed JSON
+		`{"x": 1} extra`,    // trailing data after the object
+		`{"x": 1e999}`,      // number overflows float64
 	}
 	for i, in := range cases {
 		br := NewNDJSONBatchReader(strings.NewReader(in), attrs, 8)
 		if _, err := br.Next(); err == nil || err == io.EOF {
 			t.Errorf("case %d: expected an error, got %v", i, err)
 		}
+	}
+}
+
+// TestNDJSONReaderRejectsDuplicateKeys pins the duplicate-key fix: a
+// generic JSON decode resolves {"x":1,"x":9} last-wins, silently scoring
+// 9 — the reader must reject the row instead, naming the repeated
+// attribute. A key repeated with null is equally ambiguous and equally
+// rejected; the same key on different rows is of course fine.
+func TestNDJSONReaderRejectsDuplicateKeys(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "x", Kind: Interval},
+		{Name: "surface", Kind: Nominal, Levels: []string{"seal"}},
+	}
+	for _, in := range []string{
+		`{"x": 1, "x": 9}`,
+		`{"x": 1, "surface": "seal", "x": 9}`,
+		`{"x": 1, "x": null}`,
+		`{"surface": "seal", "surface": "seal"}`,
+	} {
+		br := NewNDJSONBatchReader(strings.NewReader(in), attrs, 8)
+		_, err := br.Next()
+		if err == nil || err == io.EOF {
+			t.Fatalf("%s: expected a duplicate-key error, got %v", in, err)
+		}
+		if !strings.Contains(err.Error(), "duplicate attribute") {
+			t.Fatalf("%s: error %q does not name the duplicate", in, err)
+		}
+	}
+	// Repeats across rows are not duplicates: the per-row marks must reset.
+	br := NewNDJSONBatchReader(strings.NewReader("{\"x\": 1}\n{\"x\": 2}\n"), attrs, 8)
+	b, err := br.Next()
+	if err != nil {
+		t.Fatalf("distinct rows rejected: %v", err)
+	}
+	if b.Len() != 2 || b.At(0, 0) != 1 || b.At(1, 0) != 2 {
+		t.Fatalf("rows = %v %v", b.Col(0), b.Col(1))
 	}
 }
 

@@ -435,11 +435,14 @@ func appendNDJSONRow(buf []byte, b *data.Batch, i int, include []includeColumn) 
 			buf = append(buf, ',')
 		}
 		first = false
-		buf = strconv.AppendQuote(buf, ic.attr.Name)
+		// data.AppendJSONString, not strconv.AppendQuote: Go quoting is
+		// not JSON quoting for unprintable characters, and scenario level
+		// names must survive the server's strict NDJSON parser.
+		buf = data.AppendJSONString(buf, ic.attr.Name)
 		buf = append(buf, ':')
 		switch {
 		case ic.attr.Kind == data.Nominal:
-			buf = strconv.AppendQuote(buf, ic.attr.Levels[int(v)])
+			buf = data.AppendJSONString(buf, ic.attr.Levels[int(v)])
 		case ic.attr.Kind == data.Binary:
 			if v == 1 {
 				buf = append(buf, "true"...)

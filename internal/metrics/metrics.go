@@ -104,7 +104,13 @@ func (h *Histogram) Sum() float64 { return float64(h.sumNano.Load()) / 1e9 }
 
 // Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
 // inside the bucket holding it. It returns 0 for an empty histogram and
-// the last finite bound for observations beyond it.
+// +Inf when the rank lands in the +Inf overflow bucket: the histogram
+// genuinely does not know how far beyond the last finite bound those
+// observations reach, and the honest answer is "saturated" — clamping to
+// the last bound (the old behaviour) made a dashboard's p99 read 10s
+// while real latencies ran to minutes. Callers that want a displayable
+// ceiling can test math.IsInf and render the last bound with a ">="
+// qualifier.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -112,12 +118,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(total)
 	cum := 0.0
-	for i := range h.counts {
+	for i, n := 0, len(h.bounds); i < n; i++ {
 		c := float64(h.counts[i].Load())
 		if cum+c >= rank {
-			if i >= len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
-			}
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
@@ -129,7 +132,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += c
 	}
-	return h.bounds[len(h.bounds)-1]
+	return math.Inf(1) // rank falls in the +Inf bucket: saturated
 }
 
 // metric is one family: a name, help text and the series under it.

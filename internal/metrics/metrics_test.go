@@ -53,9 +53,42 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	if q := h.Quantile(0.7); q <= 2 || q > 4 {
 		t.Fatalf("p70 = %v, want inside (2,4]", q)
 	}
-	// Observations beyond the last bound clamp to it.
-	if q := h.Quantile(1); q != 4 {
-		t.Fatalf("p100 = %v, want 4 (last finite bound)", q)
+	// Observations beyond the last bound saturate the histogram: the
+	// quantile must say so, not under-report by clamping to the bound.
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %v, want +Inf (rank in the overflow bucket)", q)
+	}
+	// Quantiles whose rank stays inside the finite buckets are unaffected
+	// by overflow observations.
+	if q := h.Quantile(0.8); q <= 2 || q > 4 {
+		t.Fatalf("p80 = %v, want inside (2,4]", q)
+	}
+}
+
+// TestHistogramQuantileSaturation pins the under-reporting fix in the
+// /metrics-derived latency view: once enough observations land past the
+// last finite bound, a p99 request must flag saturation with +Inf rather
+// than silently answering the 10s bucket edge.
+func TestHistogramQuantileSaturation(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	// 95 fast requests, 5 multi-minute stalls: p99 is in the overflow.
+	for i := 0; i < 95; i++ {
+		h.Observe(0.002)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(120)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Fatalf("saturated p99 = %v, want +Inf", q)
+	}
+	if q := h.Quantile(0.50); q >= 0.0025 {
+		t.Fatalf("p50 = %v, want inside the fast buckets", q)
+	}
+	// All observations in the overflow bucket: every quantile saturates.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(5)
+	if q := h2.Quantile(0.5); !math.IsInf(q, 1) {
+		t.Fatalf("all-overflow p50 = %v, want +Inf", q)
 	}
 }
 

@@ -1,0 +1,130 @@
+package bayes
+
+import (
+	"math"
+
+	"roadcrash/internal/data"
+)
+
+// This file is the compiled half of the classifier. PredictProb on the
+// fitted Model recomputes a Laplace-smoothed log for every categorical
+// attribute of every row — two math.Log calls per attribute per row.
+// Compile precomputes the whole per-(attribute, level, class)
+// log-probability table, including an explicit missing-value row holding a
+// zero contribution (the interpreted path skips missing attributes, and
+// adding zero reproduces that skip), so categorical scoring collapses to a
+// table lookup and two adds. Gaussian attributes keep their (mean, sd)
+// pair — the z-score depends on the value — but the per-class log(sd) term
+// is precomputed. Every accumulation runs in the attribute order of the
+// fitted model with the same expression shapes, so compiled probabilities
+// are bit-for-bit the interpreted ones.
+
+// compiledAttr is one attribute's lowered likelihood model.
+type compiledAttr struct {
+	// Interval attributes: per-class Gaussian parameters with the log-sd
+	// term precomputed. table is nil.
+	mean, sd, logSD [2]float64
+	// Nominal/binary attributes: per-level (class0, class1) log
+	// probabilities, with one extra trailing row for missing values that
+	// contributes exactly zero. nil for interval attributes.
+	table [][2]float64
+}
+
+// Compiled is the precomputed-table evaluation form of a fitted
+// classifier. It is immutable and safe for concurrent use.
+type Compiled struct {
+	prior [2]float64
+	cols  []int
+	attrs []compiledAttr
+}
+
+// Compile lowers the fitted classifier into its table-driven form.
+func (m *Model) Compile() *Compiled {
+	c := &Compiled{prior: m.prior, cols: append([]int(nil), m.cols...)}
+	c.attrs = make([]compiledAttr, len(m.attrs))
+	for k, am := range m.attrs {
+		ca := &c.attrs[k]
+		if am.kind == data.Interval {
+			for cl := 0; cl < 2; cl++ {
+				ca.mean[cl] = am.gauss[cl].mean
+				ca.sd[cl] = am.gauss[cl].sd
+				ca.logSD[cl] = math.Log(am.gauss[cl].sd)
+			}
+			continue
+		}
+		levels := len(am.counts[0])
+		ca.table = make([][2]float64, levels+1)
+		for l := 0; l < levels; l++ {
+			for cl := 0; cl < 2; cl++ {
+				ca.table[l][cl] = math.Log((am.counts[cl][l] + 1) / (am.totals[cl] + float64(levels)))
+			}
+		}
+		// ca.table[levels] stays {0, 0}: the missing-value row.
+	}
+	return c
+}
+
+// PredictProb returns P(positive | row) — exactly Model.PredictProb on the
+// precomputed tables.
+func (c *Compiled) PredictProb(row []float64) float64 {
+	lp0, lp1 := c.prior[0], c.prior[1]
+	for k := range c.attrs {
+		a := &c.attrs[k]
+		v := row[c.cols[k]]
+		if a.table != nil {
+			li := len(a.table) - 1 // missing row
+			if !data.IsMissing(v) {
+				li = int(v)
+			}
+			t := &a.table[li]
+			lp0 += t[0]
+			lp1 += t[1]
+			continue
+		}
+		if data.IsMissing(v) {
+			continue
+		}
+		z0 := (v - a.mean[0]) / a.sd[0]
+		lp0 += -0.5*z0*z0 - a.logSD[0]
+		z1 := (v - a.mean[1]) / a.sd[1]
+		lp1 += -0.5*z1*z1 - a.logSD[1]
+	}
+	max := math.Max(lp0, lp1)
+	p0 := math.Exp(lp0 - max)
+	p1 := math.Exp(lp1 - max)
+	return p1 / (p0 + p1)
+}
+
+// ScoreColumns scores every row of a schema-ordered columnar block into
+// out (len(out) rows). It allocates nothing and is safe for concurrent
+// use.
+func (c *Compiled) ScoreColumns(cols [][]float64, out []float64) {
+	for i := range out {
+		lp0, lp1 := c.prior[0], c.prior[1]
+		for k := range c.attrs {
+			a := &c.attrs[k]
+			v := cols[c.cols[k]][i]
+			if a.table != nil {
+				li := len(a.table) - 1
+				if !data.IsMissing(v) {
+					li = int(v)
+				}
+				t := &a.table[li]
+				lp0 += t[0]
+				lp1 += t[1]
+				continue
+			}
+			if data.IsMissing(v) {
+				continue
+			}
+			z0 := (v - a.mean[0]) / a.sd[0]
+			lp0 += -0.5*z0*z0 - a.logSD[0]
+			z1 := (v - a.mean[1]) / a.sd[1]
+			lp1 += -0.5*z1*z1 - a.logSD[1]
+		}
+		max := math.Max(lp0, lp1)
+		p0 := math.Exp(lp0 - max)
+		p1 := math.Exp(lp1 - max)
+		out[i] = p1 / (p0 + p1)
+	}
+}

@@ -1,0 +1,97 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// mixedBayesDataset covers every likelihood model: a Gaussian interval
+// attribute, a nominal attribute and a binary attribute, with missing
+// values in each.
+func mixedBayesDataset(n int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("nbmix").
+		Interval("x").
+		Nominal("surface", "seal", "gravel", "concrete").
+		Binary("wet").
+		Binary("y")
+	for i := 0; i < n; i++ {
+		y := float64(r.Intn(2))
+		x := r.Normal(2*y, 1)
+		s := float64(r.Intn(3))
+		w := float64(r.Intn(2))
+		if r.Float64() < 0.08 {
+			x = data.Missing
+		}
+		if r.Float64() < 0.08 {
+			s = data.Missing
+		}
+		b.Row(x, s, w, y)
+	}
+	return b.Build()
+}
+
+// TestCompileBitIdentical pins the table precomputation: over a probe
+// grid spanning both Gaussian tails, every nominal level, both binary
+// values and missing values in every attribute, the compiled classifier
+// reproduces the interpreted posterior bit for bit on both the row and
+// the columnar entry points.
+func TestCompileBitIdentical(t *testing.T) {
+	ds := mixedBayesDataset(800, 9)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Compile()
+	var probes [][]float64
+	for _, x := range []float64{-3, 0, 1.7, 5, data.Missing} {
+		for _, s := range []float64{0, 1, 2, data.Missing} {
+			for _, w := range []float64{0, 1, data.Missing} {
+				probes = append(probes, []float64{x, s, w, data.Missing})
+			}
+		}
+	}
+	cols := make([][]float64, 4)
+	for j := range cols {
+		cols[j] = make([]float64, len(probes))
+		for i, row := range probes {
+			cols[j][i] = row[j]
+		}
+	}
+	out := make([]float64, len(probes))
+	c.ScoreColumns(cols, out)
+	for i, row := range probes {
+		want := m.PredictProb(row)
+		if got := c.PredictProb(row); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("probe %d: compiled %v, interpreted %v", i, got, want)
+		}
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Errorf("probe %d: ScoreColumns %v, interpreted %v", i, out[i], want)
+		}
+	}
+}
+
+// TestCompileMissingRow pins the missing-value row of the precomputed
+// table: it must contribute exactly zero to both classes, so a row whose
+// categorical attribute is missing scores identically to the interpreted
+// skip.
+func TestCompileMissingRow(t *testing.T) {
+	ds := mixedBayesDataset(800, 9)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Compile()
+	for k, ca := range c.attrs {
+		if ca.table == nil {
+			continue
+		}
+		missing := ca.table[len(ca.table)-1]
+		if missing[0] != 0 || missing[1] != 0 {
+			t.Errorf("attribute model %d: missing row = %v, want {0,0}", k, missing)
+		}
+	}
+}

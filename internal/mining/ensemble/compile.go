@@ -1,0 +1,123 @@
+package ensemble
+
+import (
+	"math"
+
+	"roadcrash/internal/mining/tree"
+)
+
+// This file compiles the ensembles: every member tree is lowered to its
+// flat array encoding once, and voting runs straight over the compiled
+// members with no per-member or per-row allocation. Vote accumulation
+// preserves the member order (and, for AdaBoost, the round-weight
+// normalizer computed in that order), so compiled ensemble probabilities
+// are bit-for-bit the interpreted ones.
+
+// CompiledBagging is the compiled evaluation form of a bagged ensemble.
+// It is immutable and safe for concurrent use.
+type CompiledBagging struct {
+	trees []*tree.Compiled
+}
+
+// Compile lowers every member tree into its flat encoding.
+func (b *Bagging) Compile() *CompiledBagging {
+	c := &CompiledBagging{trees: make([]*tree.Compiled, len(b.trees))}
+	for i, t := range b.trees {
+		c.trees[i] = t.Compile()
+	}
+	return c
+}
+
+// PredictProb averages the member probabilities — exactly
+// Bagging.PredictProb over the compiled members.
+func (b *CompiledBagging) PredictProb(row []float64) float64 {
+	sum := 0.0
+	for _, t := range b.trees {
+		sum += t.PredictProb(row)
+	}
+	return sum / float64(len(b.trees))
+}
+
+// ScoreColumns scores every row of a schema-ordered columnar block into
+// out. Voting is fused row-major: each row's vote runs over every
+// compiled member while that row's attribute values are hot in cache (the
+// flat member trees together stay L1-resident, so member-major order
+// would only re-stream the block once per member). Allocation-free and
+// safe for concurrent use.
+func (b *CompiledBagging) ScoreColumns(cols [][]float64, out []float64) {
+	n := float64(len(b.trees))
+	for i := range out {
+		sum := 0.0
+		for _, t := range b.trees {
+			sum += t.PredictProbAt(cols, i)
+		}
+		out[i] = sum / n
+	}
+}
+
+// Size returns the ensemble size.
+func (b *CompiledBagging) Size() int { return len(b.trees) }
+
+// CompiledAdaBoost is the compiled evaluation form of a boosted ensemble.
+// It is immutable and safe for concurrent use.
+type CompiledAdaBoost struct {
+	trees  []*tree.Compiled
+	alphas []float64
+	norm   float64 // sum of alphas in member order
+}
+
+// Compile lowers every boosted tree into its flat encoding and fixes the
+// vote normalizer.
+func (a *AdaBoost) Compile() *CompiledAdaBoost {
+	c := &CompiledAdaBoost{
+		trees:  make([]*tree.Compiled, len(a.trees)),
+		alphas: append([]float64(nil), a.alphas...),
+	}
+	for i, t := range a.trees {
+		c.trees[i] = t.Compile()
+		c.norm += a.alphas[i]
+	}
+	return c
+}
+
+// PredictProb maps the weighted vote margin through the logistic link —
+// exactly AdaBoost.PredictProb over the compiled members.
+func (a *CompiledAdaBoost) PredictProb(row []float64) float64 {
+	margin := 0.0
+	for k, t := range a.trees {
+		vote := -1.0
+		if t.PredictProb(row) >= 0.5 {
+			vote = 1
+		}
+		margin += a.alphas[k] * vote
+	}
+	if a.norm == 0 {
+		return 0.5
+	}
+	return 1 / (1 + math.Exp(-2*margin))
+}
+
+// ScoreColumns scores every row of a schema-ordered columnar block into
+// out, accumulating each row's weighted margin over the compiled members
+// (row-major, as in CompiledBagging.ScoreColumns) before applying the
+// logistic link. Allocation-free and safe for concurrent use.
+func (a *CompiledAdaBoost) ScoreColumns(cols [][]float64, out []float64) {
+	for i := range out {
+		margin := 0.0
+		for k, t := range a.trees {
+			vote := -1.0
+			if t.PredictProbAt(cols, i) >= 0.5 {
+				vote = 1
+			}
+			margin += a.alphas[k] * vote
+		}
+		if a.norm == 0 {
+			out[i] = 0.5
+		} else {
+			out[i] = 1 / (1 + math.Exp(-2*margin))
+		}
+	}
+}
+
+// Size returns the number of boosting rounds kept.
+func (a *CompiledAdaBoost) Size() int { return len(a.trees) }

@@ -1,0 +1,107 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+// compileProbes spans the feature space of noisyThreshold, missing values
+// included.
+func compileProbes(ds *data.Dataset) [][]float64 {
+	var rows [][]float64
+	for _, x := range []float64{-0.5, 0.2, 0.5, 0.8, 1.5, data.Missing} {
+		for _, n := range []float64{0.1, 0.9, data.Missing} {
+			rows = append(rows, []float64{x, n, data.Missing})
+		}
+	}
+	_ = ds
+	return rows
+}
+
+// TestCompiledEnsemblesBitIdentical pins the fused voting: the compiled
+// bagging average and the compiled AdaBoost margin reproduce the
+// interpreted probabilities bit for bit over probes with missing values,
+// on both the row and the columnar entry points.
+func TestCompiledEnsemblesBitIdentical(t *testing.T) {
+	ds := noisyThreshold(900, 0.1, 4)
+	target := ds.MustAttrIndex("y")
+
+	bagCfg := DefaultBaggingConfig()
+	bagCfg.Trees = 7
+	bagCfg.Tree.MinLeaf = 10
+	bag, err := TrainBagging(ds, target, bagCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaCfg := DefaultAdaBoostConfig()
+	adaCfg.Rounds = 6
+	adaCfg.Tree.MinLeaf = 10
+	ada, err := TrainAdaBoost(ds, target, adaCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probes := compileProbes(ds)
+	cols := make([][]float64, len(probes[0]))
+	for j := range cols {
+		cols[j] = make([]float64, len(probes))
+		for i, row := range probes {
+			cols[j][i] = row[j]
+		}
+	}
+
+	cb := bag.Compile()
+	if cb.Size() != bag.Size() {
+		t.Fatalf("compiled bagging size %d, want %d", cb.Size(), bag.Size())
+	}
+	ca := ada.Compile()
+	if ca.Size() != ada.Size() {
+		t.Fatalf("compiled adaboost size %d, want %d", ca.Size(), ada.Size())
+	}
+	outB := make([]float64, len(probes))
+	outA := make([]float64, len(probes))
+	cb.ScoreColumns(cols, outB)
+	ca.ScoreColumns(cols, outA)
+	for i, row := range probes {
+		wantB := bag.PredictProb(row)
+		if got := cb.PredictProb(row); math.Float64bits(got) != math.Float64bits(wantB) {
+			t.Errorf("bagging probe %d: compiled %v, interpreted %v", i, got, wantB)
+		}
+		if math.Float64bits(outB[i]) != math.Float64bits(wantB) {
+			t.Errorf("bagging probe %d: ScoreColumns %v, interpreted %v", i, outB[i], wantB)
+		}
+		wantA := ada.PredictProb(row)
+		if got := ca.PredictProb(row); math.Float64bits(got) != math.Float64bits(wantA) {
+			t.Errorf("adaboost probe %d: compiled %v, interpreted %v", i, got, wantA)
+		}
+		if math.Float64bits(outA[i]) != math.Float64bits(wantA) {
+			t.Errorf("adaboost probe %d: ScoreColumns %v, interpreted %v", i, outA[i], wantA)
+		}
+	}
+}
+
+// TestCompiledAdaBoostZeroNorm pins the degenerate-vote guard on both
+// entry points: an all-zero alpha vector (possible only through a
+// hand-built ensemble, but the interpreted path guards it) answers the
+// indifferent 0.5.
+func TestCompiledAdaBoostZeroNorm(t *testing.T) {
+	ds := noisyThreshold(900, 0.1, 4)
+	ada, err := TrainAdaBoost(ds, ds.MustAttrIndex("y"), DefaultAdaBoostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := &AdaBoost{trees: ada.trees, alphas: make([]float64, len(ada.trees))}
+	cz := zero.Compile()
+	row := []float64{0.5, 0.5, data.Missing}
+	if got, want := cz.PredictProb(row), zero.PredictProb(row); got != want || got != 0.5 {
+		t.Fatalf("zero-norm PredictProb = %v, interpreted %v, want 0.5", got, want)
+	}
+	cols := [][]float64{{0.5}, {0.5}, {data.Missing}}
+	out := make([]float64, 1)
+	cz.ScoreColumns(cols, out)
+	if out[0] != 0.5 {
+		t.Fatalf("zero-norm ScoreColumns = %v, want 0.5", out[0])
+	}
+}

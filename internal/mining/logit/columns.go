@@ -1,0 +1,26 @@
+package logit
+
+import (
+	"math"
+
+	"roadcrash/internal/linalg"
+)
+
+// ScoreColumns scores every row of a schema-ordered columnar block into
+// out (len(out) rows). The logistic model has no precomputable table — the
+// one-hot design depends on every value — so the win over row-by-row
+// PredictProb is buffer reuse: the raw row and the encoded design vector
+// are allocated once per call instead of once per row. Each row's score is
+// bit-for-bit PredictProb's (the same Transform and dot product run on the
+// same values). Safe for concurrent use: all state is call-local.
+func (m *Model) ScoreColumns(cols [][]float64, out []float64) {
+	row := make([]float64, len(cols))
+	var x []float64
+	for i := range out {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		x = m.enc.Transform(row, x)
+		out[i] = 1 / (1 + math.Exp(-linalg.Dot(m.weights, x)))
+	}
+}

@@ -1,0 +1,49 @@
+package logit
+
+import (
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+// TestScoreColumnsBitIdentical pins the columnar entry point: over probes
+// spanning both margins and missing values (which the encoder imputes),
+// ScoreColumns reproduces PredictProb bit for bit while allocating only
+// its two call-local buffers.
+func TestScoreColumnsBitIdentical(t *testing.T) {
+	ds := logisticDataset(2000, 3)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes [][]float64
+	for _, x1 := range []float64{-2, -0.3, 0, 1.1, 3, data.Missing} {
+		for _, x2 := range []float64{-1.5, 0.4, 2, data.Missing} {
+			probes = append(probes, []float64{x1, x2, data.Missing})
+		}
+	}
+	cols := make([][]float64, 3)
+	for j := range cols {
+		cols[j] = make([]float64, len(probes))
+		for i, row := range probes {
+			cols[j][i] = row[j]
+		}
+	}
+	out := make([]float64, len(probes))
+	m.ScoreColumns(cols, out)
+	for i, row := range probes {
+		want := m.PredictProb(row)
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Errorf("probe %d: ScoreColumns %v, PredictProb %v", i, out[i], want)
+		}
+	}
+	// The per-call buffers must not leak state between calls.
+	again := make([]float64, len(probes))
+	m.ScoreColumns(cols, again)
+	for i := range out {
+		if math.Float64bits(out[i]) != math.Float64bits(again[i]) {
+			t.Fatalf("probe %d: second call %v, first %v", i, again[i], out[i])
+		}
+	}
+}

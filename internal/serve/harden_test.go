@@ -136,8 +136,8 @@ func TestAdmissionControl429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overloaded /score status = %d, want 429 (%s)", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without a Retry-After header")
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("429 Retry-After = %q, want the default %q", got, "1")
 	}
 	var er errorResponse
 	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
@@ -181,6 +181,71 @@ func TestAdmissionControl429(t *testing.T) {
 	}
 	if want := dt.PredictProb([]float64{100, data.Missing, data.Missing}); sr.Scores[0].Risk != want {
 		t.Fatalf("post-release risk %v, want %v", sr.Scores[0].Risk, want)
+	}
+}
+
+// TestRetryAfterConfigurable pins the Retry-After knob: the header tracks
+// serve.Config.RetryAfter (rounded up to whole seconds, never zero)
+// instead of the old hardcoded "1" — a deployment draining 30-second
+// streams should not invite a retry storm every second.
+func TestRetryAfterConfigurable(t *testing.T) {
+	reg := NewRegistry()
+	for _, tc := range []struct {
+		cfg  time.Duration
+		want string
+	}{
+		{0, "1"},                      // zero selects the 1s default
+		{200 * time.Millisecond, "1"}, // sub-second rounds up, never 0
+		{2 * time.Second, "2"},
+		{2500 * time.Millisecond, "3"}, // rounds up, not down
+		{time.Minute, "60"},
+	} {
+		s := New(reg, Config{RetryAfter: tc.cfg})
+		if s.retryAfter != tc.want {
+			t.Errorf("RetryAfter %v rendered %q, want %q", tc.cfg, s.retryAfter, tc.want)
+		}
+	}
+
+	// End to end: an overloaded server advertises the configured hint.
+	dir := t.TempDir()
+	trainFixture(t, dir, "cp-8-tree", labelV1)
+	if _, err := reg.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{MaxInFlight: 1, RetryAfter: 7 * time.Second})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	pr, pw := io.Pipe()
+	streamDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/score/stream?model=cp-8-tree", "application/x-ndjson", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		streamDone <- err
+	}()
+	if _, err := pw.Write([]byte("{\"aadt\": 900}\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitInFlight(t, s, 1)
+	raw, _ := json.Marshal(ScoreRequest{Model: "cp-8-tree", Segments: []map[string]any{{"aadt": 100.0}}})
+	resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded /score status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+	pw.Close()
+	if err := <-streamDone; err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -23,14 +23,18 @@ import (
 
 // Model is one servable entry: the decoded artifact, its learner and the
 // row mapper aligning request attributes to the training schema. All
-// fields are read-only after load.
+// fields are read-only after load. Scorer is the compiled evaluation form
+// (flat trees, precomputed Bayes tables, fused ensembles) — compilation
+// happens once at load, predictions stay bit-identical to the interpreted
+// learner, and every request scores against the compiled engine.
 type Model struct {
 	Artifact *artifact.Artifact
 	Scorer   artifact.Scorer
 	Mapper   *artifact.RowMapper
 }
 
-// buildModel decodes an artifact's learner and builds its row mapper.
+// buildModel decodes an artifact's learner, compiles it and builds its
+// row mapper.
 func buildModel(a *artifact.Artifact) (*Model, error) {
 	scorer, err := a.Model()
 	if err != nil {
@@ -40,7 +44,7 @@ func buildModel(a *artifact.Artifact) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{Artifact: a, Scorer: scorer, Mapper: mapper}, nil
+	return &Model{Artifact: a, Scorer: artifact.Compile(scorer), Mapper: mapper}, nil
 }
 
 // Registry is a concurrent-safe name -> model table. Mutations swap

@@ -51,6 +51,13 @@ type Config struct {
 	// endpoint reads its body incrementally and is bounded per line
 	// instead.
 	MaxBodyBytes int64
+	// RetryAfter is the backoff hint sent in the Retry-After header of a
+	// 429 rejection. Deployments that know their drain rate (roughly
+	// MaxInFlight divided by sustainable requests per second) should set
+	// it so well-behaved clients retry when a slot is plausibly free
+	// rather than hammering a saturated server once a second. Rounded up
+	// to whole seconds on the wire; default 1s.
+	RetryAfter time.Duration
 	// ReloadDir enables POST /reload: the whole model set is atomically
 	// replaced with the artifacts in this directory. Empty disables the
 	// endpoint (404).
@@ -64,6 +71,7 @@ func DefaultConfig() Config {
 		RequestTimeout: 30 * time.Second,
 		StreamTimeout:  30 * time.Second,
 		MaxBodyBytes:   64 << 20,
+		RetryAfter:     time.Second,
 	}
 }
 
@@ -81,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = def.MaxBodyBytes
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = def.RetryAfter
 	}
 	return c
 }
@@ -152,6 +163,10 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
+	// retryAfter is cfg.RetryAfter rendered once: whole seconds, rounded
+	// up, never below 1 (Retry-After: 0 tells clients to hammer).
+	retryAfter string
+
 	metrics   *metrics.Registry
 	inFlight  *metrics.Gauge
 	requests  *metrics.CounterVec   // {endpoint, code}
@@ -170,6 +185,7 @@ func NewServer(reg *Registry) *Server { return New(reg, Config{}) }
 // defaults.
 func New(reg *Registry, cfg Config) *Server {
 	s := &Server{reg: reg, cfg: cfg.withDefaults(), metrics: metrics.NewRegistry()}
+	s.retryAfter = strconv.FormatInt(int64((s.cfg.RetryAfter + time.Second - 1) / time.Second), 10)
 	s.inFlight = s.metrics.Gauge("crashprone_in_flight_requests",
 		"Scoring requests currently being handled.")
 	s.requests = s.metrics.CounterVec("crashprone_requests_total",
@@ -234,7 +250,7 @@ func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		if n := s.inFlight.Inc(); n > int64(s.cfg.MaxInFlight) {
 			s.inFlight.Dec()
 			s.requests.With(endpoint, "429").Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter)
 			writeError(w, http.StatusTooManyRequests,
 				fmt.Sprintf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
 			return
@@ -421,6 +437,7 @@ func (s *Server) streamScores(w http.ResponseWriter, name string, m *Model, req 
 	body := &extendingReader{r: req.Body, extend: extend}
 	br := data.NewNDJSONBatchReader(body, m.Mapper.Attrs(), streamChunkSize)
 	bs := artifact.NewBatchScorerFor(m.Scorer, m.Mapper)
+	var lines []byte // reused chunk render buffer
 	rows, err := bs.ScoreAll(br, func(b *data.Batch, scores []float64) error {
 		// Validate the whole chunk before emitting any of it, so the
 		// trailer's row count always equals the score lines the client
@@ -428,10 +445,23 @@ func (s *Server) streamScores(w http.ResponseWriter, name string, m *Model, req 
 		if !artifact.Finite(scores) {
 			return fmt.Errorf("model produced a non-finite score")
 		}
+		// Render the chunk with an append-based writer instead of one
+		// reflective json.Encoder call per row: at compiled-engine
+		// throughput the per-row encoder, not scoring, would dominate
+		// the hot path. The lines are the JSON form of StreamScore.
+		lines = lines[:0]
 		for _, risk := range scores {
-			if err := enc.Encode(StreamScore{Risk: risk, CrashProne: risk >= 0.5}); err != nil {
-				return err
+			lines = append(lines, `{"risk":`...)
+			lines = strconv.AppendFloat(lines, risk, 'g', -1, 64)
+			if risk >= 0.5 {
+				lines = append(lines, `,"crash_prone":true}`...)
+			} else {
+				lines = append(lines, `,"crash_prone":false}`...)
 			}
+			lines = append(lines, '\n')
+		}
+		if _, err := w.Write(lines); err != nil {
+			return err
 		}
 		rc.Flush()
 		extend()
