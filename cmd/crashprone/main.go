@@ -13,6 +13,8 @@
 //	crashprone score -model m.json -in segs.csv  # stream-score a CSV
 //	crashprone simulate -rows 1000000 | crashprone score -model m.json -format ndjson
 //	crashprone serve -dir ./models -addr :8080   # HTTP scoring service
+//	crashprone router -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
+//	crashprone faultproxy -target http://127.0.0.1:8081 -addr :8070 -latency 50ms -latency-every 3
 //	crashprone loadgen -addr http://localhost:8080 -duration 10s  # load test
 //
 // Study subcommands accept -scale small|paper and -seed N. score and
@@ -33,6 +35,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,9 +43,11 @@ import (
 	"roadcrash/internal/core"
 	"roadcrash/internal/crisp"
 	"roadcrash/internal/data"
+	"roadcrash/internal/faultproxy"
 	"roadcrash/internal/loadgen"
 	"roadcrash/internal/mining/tree"
 	"roadcrash/internal/roadnet"
+	"roadcrash/internal/router"
 	"roadcrash/internal/serve"
 )
 
@@ -76,6 +81,10 @@ func main() {
 		err = cmdSimulate(args)
 	case "serve":
 		err = cmdServe(args)
+	case "router":
+		err = cmdRouter(args)
+	case "faultproxy":
+		err = cmdFaultproxy(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
 	case "help", "-h", "--help":
@@ -112,8 +121,14 @@ model commands (see docs/SERVING.md and docs/DATA.md):
   serve      serve artifacts over the HTTP scoring API
              (POST /score, POST /score/stream, GET /models, GET /healthz,
              GET /metrics, POST /reload)
+  router     fan scoring traffic across serve replicas with least-inflight
+             routing, retries, hedging, circuit breakers and fleet-atomic
+             POST /reload
+  faultproxy torture a replica deterministically: latency spikes, 5xx
+             bursts, connection resets and mid-stream kills
   loadgen    drive a running service with scenario traffic and report
-             throughput, latency quantiles and error rates as JSON`)
+             throughput, latency quantiles and error rates as JSON
+             (-addr takes comma-separated URLs; -retry honors Retry-After)`)
 }
 
 // studyFlags wires the shared -scale and -seed flags into fs.
@@ -560,9 +575,104 @@ func cmdServe(args []string) error {
 	return serve.Run(ctx, *addr, serve.New(reg, cfg), *drain)
 }
 
+func cmdRouter(args []string) error {
+	fs := flag.NewFlagSet("router", flag.ExitOnError)
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	attempts := fs.Int("attempts", 0, "max attempts per batch request (0 = default 3)")
+	retryBase := fs.Duration("retry-base", 0, "base retry backoff (0 = default 25ms)")
+	retryMax := fs.Duration("retry-max", 0, "retry sleep cap, bounds honored Retry-After too (0 = default 1s)")
+	attemptTimeout := fs.Duration("attempt-timeout", 0, "per-attempt deadline for batch calls (0 = default 30s)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge a batch request on a second replica after this delay (0 disables)")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures that open a replica's breaker (0 = default 5)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker ejection time before a half-open probe (0 = default 2s)")
+	pollInterval := fs.Duration("poll-interval", 0, "replica health/metrics poll period (0 = default 1s)")
+	streamStall := fs.Duration("stream-stall", 0, "cut a streaming replica silent this long (0 = default 30s)")
+	drain := fs.Duration("drain", 30*time.Second, "in-flight drain window on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *replicas == "" {
+		return fmt.Errorf("router: -replicas is required")
+	}
+	cfg := router.Config{
+		Replicas:           splitList(*replicas),
+		MaxAttempts:        *attempts,
+		RetryBaseDelay:     *retryBase,
+		RetryMaxDelay:      *retryMax,
+		AttemptTimeout:     *attemptTimeout,
+		HedgeAfter:         *hedgeAfter,
+		BreakerFailures:    *breakerFailures,
+		BreakerCooldown:    *breakerCooldown,
+		PollInterval:       *pollInterval,
+		StreamStallTimeout: *streamStall,
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "routing over %d replica(s) on %s (POST /score, POST /score/stream, GET /models, GET /healthz, GET /metrics, POST /reload)\n",
+		len(cfg.Replicas), *addr)
+	return serve.Run(ctx, *addr, rt, *drain)
+}
+
+func cmdFaultproxy(args []string) error {
+	fs := flag.NewFlagSet("faultproxy", flag.ExitOnError)
+	target := fs.String("target", "", "base URL of the replica behind the proxy (required)")
+	addr := fs.String("addr", ":8070", "listen address")
+	latency := fs.Duration("latency", 0, "added latency per scheduled request")
+	latencyEvery := fs.Int("latency-every", 0, "inject -latency on every Nth request (0 disables)")
+	errorEvery := fs.Int("error-every", 0, "start a 502 burst at every Nth request (0 disables)")
+	errorBurst := fs.Int("error-burst", 1, "consecutive 502s per burst")
+	resetEvery := fs.Int("reset-every", 0, "reset the connection before responding on every Nth request (0 disables)")
+	killEvery := fs.Int("kill-every", 0, "kill the connection mid-response on every Nth request (0 disables)")
+	killAfter := fs.Int("kill-after-bytes", 1024, "response bytes forwarded before a kill")
+	maxInflight := fs.Int("max-inflight", 0, "cap concurrent requests through the proxy, queueing the rest (0 = unlimited; with -latency this emulates a capacity-bound replica)")
+	drain := fs.Duration("drain", 5*time.Second, "in-flight drain window on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("faultproxy: -target is required")
+	}
+	p, err := faultproxy.New(faultproxy.Config{
+		Target:         *target,
+		Latency:        *latency,
+		LatencyEvery:   *latencyEvery,
+		ErrorEvery:     *errorEvery,
+		ErrorBurst:     *errorBurst,
+		ResetEvery:     *resetEvery,
+		KillEvery:      *killEvery,
+		KillAfterBytes: *killAfter,
+		MaxInFlight:    *maxInflight,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "fault-proxying %s on %s\n", *target, *addr)
+	return serve.Run(ctx, *addr, p, *drain)
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the scoring service")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL(s) of the scoring service, comma-separated for multi-target runs")
 	model := fs.String("model", "", "model to drive (default: first model the service lists)")
 	mode := fs.String("mode", "mixed", "endpoints to drive: batch, stream or mixed")
 	concurrency := fs.Int("concurrency", 8, "concurrent request workers")
@@ -571,6 +681,8 @@ func cmdLoadgen(args []string) error {
 	streamRows := fs.Int("stream-rows", 4096, "rows per /score/stream request")
 	seed := fs.Uint64("seed", 0, "scenario traffic seed (0 keeps the default)")
 	weather := fs.String("weather", "mixed", "weather regime of the traffic: mixed, wet or dry")
+	retry := fs.Bool("retry", false, "retry 429s and transport errors, honoring Retry-After")
+	retryAttempts := fs.Int("retry-attempts", 0, "max retries per request with -retry (0 = default 4)")
 	out := fs.String("out", "", "JSON report path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -584,15 +696,17 @@ func cmdLoadgen(args []string) error {
 		return err
 	}
 	opt := loadgen.Options{
-		BaseURL:     *addr,
-		Model:       *model,
-		Mode:        m,
-		Concurrency: *concurrency,
-		Duration:    *duration,
-		BatchRows:   *batchRows,
-		StreamRows:  *streamRows,
-		Seed:        *seed,
-		Weather:     w,
+		Targets:       splitList(*addr),
+		Model:         *model,
+		Mode:          m,
+		Concurrency:   *concurrency,
+		Duration:      *duration,
+		BatchRows:     *batchRows,
+		StreamRows:    *streamRows,
+		Seed:          *seed,
+		Weather:       w,
+		Retry:         *retry,
+		RetryAttempts: *retryAttempts,
 	}
 	// Ctrl-C ends the run early; the report covers what completed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

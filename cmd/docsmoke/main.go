@@ -9,7 +9,10 @@
 // normalization: study commands are forced to -scale small, simulate row
 // counts are capped, documented file paths are rewritten into the scratch
 // directory, and `crashprone serve` is started on a loopback port, probed
-// via /healthz and /models, then stopped. Lines the tier-1 CI already runs
+// via /healthz and /models, then stopped. Router and faultproxy commands
+// get backing replicas booted on loopback ports first, and loadgen
+// commands run against replicas the smoke starts (one per documented
+// target). Lines the tier-1 CI already runs
 // (go build / go test / go vet) and lines requiring a live server (curl)
 // are skipped. Any executed command that fails — including a documented
 // subcommand or flag that no longer exists — fails the smoke.
@@ -28,8 +31,14 @@ import (
 	"time"
 )
 
-// servePort is the loopback port serve lines are rebound to.
-const servePort = "127.0.0.1:18473"
+// servePort is the loopback port serve, router and faultproxy lines are
+// rebound to; replicaPortA/B host the backing replicas router, faultproxy
+// and multi-target loadgen lines need.
+const (
+	servePort    = "127.0.0.1:18473"
+	replicaPortA = "127.0.0.1:18474"
+	replicaPortB = "127.0.0.1:18475"
+)
 
 func main() {
 	if err := run(); err != nil {
@@ -81,7 +90,23 @@ func run() error {
 		cmd := normalize(raw, bin, scratch)
 		fmt.Printf("== %s\n", raw)
 		if strings.Contains(cmd, " loadgen ") {
-			if err := smokeLoadgen(bin, cmd, scratch); err != nil {
+			targets := []string{servePort}
+			if strings.Contains(cmd, replicaPortA) {
+				targets = []string{replicaPortA, replicaPortB}
+			}
+			if err := smokeLoadgen(bin, cmd, scratch, targets); err != nil {
+				return fmt.Errorf("%q: %w", raw, err)
+			}
+			continue
+		}
+		if strings.Contains(cmd, " router ") {
+			if err := smokeRouter(bin, cmd, scratch); err != nil {
+				return fmt.Errorf("%q: %w", raw, err)
+			}
+			continue
+		}
+		if strings.Contains(cmd, " faultproxy ") {
+			if err := smokeFaultproxy(bin, cmd, scratch); err != nil {
 				return fmt.Errorf("%q: %w", raw, err)
 			}
 			continue
@@ -160,8 +185,10 @@ func prologue(bin, scratch string) error {
 }
 
 var (
-	rowsFlag = regexp.MustCompile(`-rows\s+\d+`)
-	addrFlag = regexp.MustCompile(`-addr\s+\S+`)
+	rowsFlag     = regexp.MustCompile(`-rows\s+\d+`)
+	addrFlag     = regexp.MustCompile(`-addr\s+\S+`)
+	replicasFlag = regexp.MustCompile(`-replicas\s+\S+`)
+	targetFlag   = regexp.MustCompile(`-target\s+\S+`)
 )
 
 // scaleCommands are the crashprone subcommands that accept -scale; the
@@ -180,7 +207,16 @@ func normalize(cmd, bin, scratch string) string {
 	cmd = strings.ReplaceAll(cmd, "segs.csv", "data/crash.csv")
 	cmd = strings.ReplaceAll(cmd, "segs.ndjson", "data/crash.ndjson")
 	cmd = rowsFlag.ReplaceAllString(cmd, "-rows 20000")
+	// A documented multi-target loadgen line (-addr with commas) keeps its
+	// shape across two smoke replicas; everything else lands on the single
+	// smoke port. Router replicas and faultproxy targets are rebound to the
+	// smoke replica ports.
+	multiTarget := strings.Contains(cmd, " loadgen ") &&
+		strings.Contains(addrFlag.FindString(cmd), ",")
 	cmd = addrFlag.ReplaceAllString(cmd, "-addr "+servePort)
+	cmd = replicasFlag.ReplaceAllString(cmd,
+		"-replicas http://"+replicaPortA+",http://"+replicaPortB)
+	cmd = targetFlag.ReplaceAllString(cmd, "-target http://"+replicaPortA)
 
 	// Force small scale on every pipeline stage that supports it, and pin
 	// serve and loadgen commands to the loopback smoke port. Loadgen runs
@@ -199,7 +235,11 @@ func normalize(cmd, bin, scratch string) string {
 				stage += " -addr " + servePort
 			}
 			if fields[1] == "loadgen" {
-				stage += " -addr http://" + servePort + " -duration 2s -concurrency 2 -stream-rows 1024"
+				addr := "http://" + servePort
+				if multiTarget {
+					addr = "http://" + replicaPortA + ",http://" + replicaPortB
+				}
+				stage += " -addr " + addr + " -duration 2s -concurrency 2 -stream-rows 1024"
 			}
 		}
 		stages = append(stages, strings.TrimSpace(stage))
@@ -254,10 +294,15 @@ func smokeServe(cmd, dir string) error {
 		syscall.Kill(-c.Process.Pid, syscall.SIGKILL)
 		c.Wait()
 	}()
-	if err := waitHealthy(); err != nil {
+	if err := waitHealthy(servePort); err != nil {
 		return err
 	}
-	resp, err := http.Get("http://" + servePort + "/models")
+	return probeModels(servePort)
+}
+
+// probeModels asserts GET /models answers 200 on the given port.
+func probeModels(port string) error {
+	resp, err := http.Get("http://" + port + "/models")
 	if err != nil {
 		return fmt.Errorf("GET /models: %w", err)
 	}
@@ -268,32 +313,107 @@ func smokeServe(cmd, dir string) error {
 	return nil
 }
 
-// smokeLoadgen runs a documented loadgen command against a scoring server
-// it starts on the smoke port (serving the prologue's models directory),
-// so documented load-test workflows are exercised end to end at small
-// scale.
-func smokeLoadgen(bin, cmd, dir string) error {
-	srv := exec.Command(bin, "serve", "-dir", "models", "-addr", servePort)
-	srv.Dir = dir
-	srv.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
-	if err := srv.Start(); err != nil {
+// startReplicas boots one scoring replica per port (serving the
+// prologue's models directory) and returns a stopper. Each replica is
+// health-checked before the documented command under test runs.
+func startReplicas(bin, dir string, ports []string) (func(), error) {
+	var stops []func()
+	stop := func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	for _, port := range ports {
+		srv := exec.Command(bin, "serve", "-dir", "models", "-addr", port)
+		srv.Dir = dir
+		srv.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		if err := srv.Start(); err != nil {
+			stop()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			syscall.Kill(-srv.Process.Pid, syscall.SIGKILL)
+			srv.Wait()
+		})
+		if err := waitHealthy(port); err != nil {
+			stop()
+			return nil, err
+		}
+	}
+	return stop, nil
+}
+
+// smokeRouter starts two scoring replicas, launches the documented router
+// command in front of them, and proves the tier routes: the router's own
+// /healthz must report ready and /models must proxy through.
+func smokeRouter(bin, cmd, dir string) error {
+	stop, err := startReplicas(bin, dir, []string{replicaPortA, replicaPortB})
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	c := exec.Command("sh", "-c", cmd)
+	c.Dir = dir
+	c.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := c.Start(); err != nil {
 		return err
 	}
 	defer func() {
-		syscall.Kill(-srv.Process.Pid, syscall.SIGKILL)
-		srv.Wait()
+		syscall.Kill(-c.Process.Pid, syscall.SIGKILL)
+		c.Wait()
 	}()
-	if err := waitHealthy(); err != nil {
+	// The router 503s /healthz until a replica polls ready, so a 200 here
+	// proves discovery worked end to end.
+	if err := waitHealthy(servePort); err != nil {
 		return err
 	}
+	return probeModels(servePort)
+}
+
+// smokeFaultproxy starts one scoring replica, launches the documented
+// faultproxy command in front of it, and proves requests still cross the
+// proxy (retrying past any faults its schedule injects).
+func smokeFaultproxy(bin, cmd, dir string) error {
+	stop, err := startReplicas(bin, dir, []string{replicaPortA})
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	c := exec.Command("sh", "-c", cmd)
+	c.Dir = dir
+	c.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := c.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		syscall.Kill(-c.Process.Pid, syscall.SIGKILL)
+		c.Wait()
+	}()
+	// Documented chaos schedules may fault individual probes; waitHealthy
+	// retries until one crosses clean.
+	return waitHealthy(servePort)
+}
+
+// smokeLoadgen runs a documented loadgen command against one scoring
+// server per target port (serving the prologue's models directory), so
+// documented load-test workflows — single service or a whole fleet — are
+// exercised end to end at small scale.
+func smokeLoadgen(bin, cmd, dir string, targets []string) error {
+	stop, err := startReplicas(bin, dir, targets)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	return sh(cmd, dir, 5*time.Minute)
 }
 
-// waitHealthy polls the smoke port until /healthz answers 200.
-func waitHealthy() error {
+// waitHealthy polls a port until /healthz answers 200.
+func waitHealthy(port string) error {
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		resp, err := http.Get("http://" + servePort + "/healthz")
+		resp, err := http.Get("http://" + port + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -301,7 +421,7 @@ func waitHealthy() error {
 			}
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("server never became healthy on %s: %v", servePort, err)
+			return fmt.Errorf("server never became healthy on %s: %v", port, err)
 		}
 		time.Sleep(200 * time.Millisecond)
 	}

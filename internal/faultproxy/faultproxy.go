@@ -1,0 +1,253 @@
+// Package faultproxy is a deterministic fault-injection proxy for
+// torturing the serving tier in tests and benchmarks. It sits between
+// the router and a serve replica and injects, on a fixed schedule driven
+// by a request counter (no randomness, so every test run sees the same
+// faults): added latency, 5xx bursts answered without touching the
+// replica, TCP connection resets before any response byte, and
+// mid-stream kills that cut the connection after forwarding a set number
+// of response bytes — the exact failure the stream trailer contract
+// exists to surface.
+package faultproxy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config schedules the injected faults. Every knob is counted in
+// requests: Every=3 means requests 3, 6, 9, … are hit. Zero disables a
+// fault. Faults compose; when several match one request, the order is
+// reset, then 5xx, then latency (latency also delays kills).
+type Config struct {
+	// Target is the base URL of the replica behind the proxy.
+	Target string
+	// Latency is added before forwarding every LatencyEvery-th request.
+	Latency time.Duration
+	// LatencyEvery schedules the latency spikes (1 = every request).
+	LatencyEvery int
+	// ErrorEvery starts a burst of ErrorBurst consecutive 502s at every
+	// ErrorEvery-th request, answered without contacting the replica.
+	ErrorEvery int
+	// ErrorBurst is the 5xx burst length (default 1 when ErrorEvery > 0).
+	ErrorBurst int
+	// ResetEvery kills the client connection before any response byte on
+	// every ResetEvery-th request — a connect-level failure.
+	ResetEvery int
+	// KillEvery cuts the connection mid-response on every KillEvery-th
+	// request, after KillAfterBytes of the replica's response body have
+	// been forwarded.
+	KillEvery int
+	// KillAfterBytes is how much response body escapes before a kill
+	// (default 1024).
+	KillAfterBytes int
+	// MaxInFlight bounds how many requests may occupy the proxy at once
+	// (injected latency included); excess requests queue. Zero means
+	// unlimited. Combined with Latency it emulates a capacity-bound
+	// upstream — each request holds one of MaxInFlight slots for at
+	// least Latency — which is how the router scaling benchmark models
+	// slot-limited replicas on a single-CPU box.
+	MaxInFlight int
+}
+
+// Stats counts what the proxy has done, for test assertions.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	Forwarded int64 `json:"forwarded"`
+	Delayed   int64 `json:"delayed"`
+	Errored   int64 `json:"errored"`
+	Resets    int64 `json:"resets"`
+	Kills     int64 `json:"kills"`
+}
+
+// Proxy is the fault-injecting reverse proxy. It implements
+// http.Handler; construct with New.
+type Proxy struct {
+	cfg    Config
+	client *http.Client
+	n      atomic.Int64
+	slots  chan struct{}
+
+	requests  atomic.Int64
+	forwarded atomic.Int64
+	delayed   atomic.Int64
+	errored   atomic.Int64
+	resets    atomic.Int64
+	kills     atomic.Int64
+}
+
+// New builds a proxy in front of target. The target must be an absolute
+// base URL.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("faultproxy: target URL is required")
+	}
+	if cfg.ErrorEvery > 0 && cfg.ErrorBurst <= 0 {
+		cfg.ErrorBurst = 1
+	}
+	if cfg.KillEvery > 0 && cfg.KillAfterBytes <= 0 {
+		cfg.KillAfterBytes = 1024
+	}
+	var slots chan struct{}
+	if cfg.MaxInFlight > 0 {
+		slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return &Proxy{
+		cfg:   cfg,
+		slots: slots,
+		// The proxy must never be the bottleneck it is measuring around:
+		// pool connections like the router does.
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		}},
+	}, nil
+}
+
+// Stats returns a snapshot of the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Requests:  p.requests.Load(),
+		Forwarded: p.forwarded.Load(),
+		Delayed:   p.delayed.Load(),
+		Errored:   p.errored.Load(),
+		Resets:    p.resets.Load(),
+		Kills:     p.kills.Load(),
+	}
+}
+
+// hits reports whether the n-th request (1-based) is scheduled by an
+// every-th rule.
+func hits(n int64, every int) bool {
+	return every > 0 && n%int64(every) == 0
+}
+
+// ServeHTTP applies the scheduled faults and otherwise forwards the
+// request to the target verbatim.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	n := p.n.Add(1)
+	p.requests.Add(1)
+
+	if hits(n, p.cfg.ResetEvery) {
+		p.resets.Add(1)
+		hardClose(w)
+		return
+	}
+	if p.errorScheduled(n) {
+		p.errored.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":"injected 502 (request %d)"}%s`, n, "\n")
+		return
+	}
+	if p.slots != nil {
+		select {
+		case p.slots <- struct{}{}:
+		case <-req.Context().Done():
+			return
+		}
+		defer func() { <-p.slots }()
+	}
+	if hits(n, p.cfg.LatencyEvery) && p.cfg.Latency > 0 {
+		p.delayed.Add(1)
+		select {
+		case <-time.After(p.cfg.Latency):
+		case <-req.Context().Done():
+			return
+		}
+	}
+	p.forward(w, req, hits(n, p.cfg.KillEvery))
+}
+
+// errorScheduled reports whether request n falls in a 5xx burst: the
+// burst covers requests k·ErrorEvery … k·ErrorEvery+ErrorBurst-1.
+func (p *Proxy) errorScheduled(n int64) bool {
+	if p.cfg.ErrorEvery <= 0 {
+		return false
+	}
+	every := int64(p.cfg.ErrorEvery)
+	if n < every {
+		return false
+	}
+	return n%every < int64(p.cfg.ErrorBurst)
+}
+
+// forward proxies one request. A manual proxy instead of
+// net/http/httputil because the kill fault needs byte-exact control of
+// how much response body escapes before the cut.
+func (p *Proxy) forward(w http.ResponseWriter, req *http.Request, kill bool) {
+	upReq, err := http.NewRequestWithContext(req.Context(), req.Method,
+		p.cfg.Target+req.URL.RequestURI(), req.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	upReq.Header = req.Header.Clone()
+	resp, err := p.client.Do(upReq)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":"upstream: %s"}%s`, err, "\n")
+		return
+	}
+	defer resp.Body.Close()
+
+	h := w.Header()
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			h.Add(k, v)
+		}
+	}
+	if kill {
+		// Forward exactly KillAfterBytes of body, then cut the socket:
+		// the client sees a mid-stream death with no trailer.
+		h.Del("Content-Length")
+		w.WriteHeader(resp.StatusCode)
+		io.CopyN(w, resp.Body, int64(p.cfg.KillAfterBytes))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		p.kills.Add(1)
+		hardClose(w)
+		return
+	}
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		nr, rerr := resp.Body.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return
+			}
+			rc.Flush()
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	p.forwarded.Add(1)
+}
+
+// hardClose hijacks the client connection and closes it without a
+// response — the kernel sends an RST if data is pending, and the client
+// observes a connection error (or a truncated body mid-stream).
+func hardClose(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	conn, _, err := rc.Hijack()
+	if err != nil {
+		// Not hijackable (HTTP/2 or a test recorder): the best available
+		// approximation is an empty 502.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		// Linger 0 turns Close into an immediate RST instead of a clean
+		// FIN, which is what a crashed replica looks like.
+		tcp.SetLinger(0)
+	}
+	conn.Close()
+}

@@ -6,6 +6,10 @@
 // story — the server enforces admission control and deadlines, loadgen
 // quantifies what the deployment sustains (and counts 429 rejections
 // separately, so capacity experiments read directly off the report).
+// Workers can spread over several targets (per-replica load without a
+// router) and optionally retry 429s honoring the server's Retry-After
+// hint, reporting retried-then-succeeded requests apart from hard
+// failures.
 package loadgen
 
 import (
@@ -18,6 +22,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,6 +55,19 @@ func ParseMode(s string) (Mode, error) {
 type Options struct {
 	// BaseURL locates the service, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets optionally spreads workers round-robin over several service
+	// URLs (per-replica load without a routing tier). Empty means
+	// [BaseURL]. The first target answers GET /models.
+	Targets []string
+	// Retry opts into client-side retries: a 429 rejection or transport
+	// error is retried up to RetryAttempts times, honoring the server's
+	// Retry-After hint (seconds; absent falls back to exponential
+	// backoff). Retried-then-succeeded requests are reported separately
+	// from hard failures.
+	Retry bool
+	// RetryAttempts bounds the retries per request when Retry is set
+	// (default 4).
+	RetryAttempts int
 	// Model names the model to drive; empty picks the first model the
 	// service lists.
 	Model string
@@ -70,6 +88,15 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if len(o.Targets) == 0 && o.BaseURL != "" {
+		o.Targets = []string{o.BaseURL}
+	}
+	if o.BaseURL == "" && len(o.Targets) > 0 {
+		o.BaseURL = o.Targets[0]
+	}
+	if o.Retry && o.RetryAttempts <= 0 {
+		o.RetryAttempts = 4
+	}
 	if o.Mode == "" {
 		o.Mode = ModeMixed
 	}
@@ -103,12 +130,17 @@ type LatencySummary struct {
 	Max  float64 `json:"max"`
 }
 
-// EndpointReport aggregates one endpoint's results.
+// EndpointReport aggregates one endpoint's results. When retries are
+// enabled, Errors counts only hard failures (still failing after the
+// last retry); RetriedOK counts requests that failed at least once but
+// ultimately succeeded, and Retries counts every extra attempt spent.
 type EndpointReport struct {
 	Requests          int            `json:"requests"`
 	Errors            int            `json:"errors"`
 	StatusCounts      map[string]int `json:"status_counts"`
 	Rejected429       int            `json:"rejected_429"`
+	Retries           int            `json:"retries,omitempty"`
+	RetriedOK         int            `json:"retried_ok,omitempty"`
 	RowsScored        int64          `json:"rows_scored"`
 	RequestsPerSecond float64        `json:"requests_per_second"`
 	RowsPerSecond     float64        `json:"rows_per_second"`
@@ -118,6 +150,7 @@ type EndpointReport struct {
 // Report is the JSON result of a load run.
 type Report struct {
 	Target          string          `json:"target"`
+	Targets         []string        `json:"targets,omitempty"`
 	Model           string          `json:"model"`
 	Mode            Mode            `json:"mode"`
 	Concurrency     int             `json:"concurrency"`
@@ -135,6 +168,9 @@ type sample struct {
 	latency  time.Duration
 	rows     int64
 	ok       bool
+	// retries is how many extra attempts this request consumed before the
+	// recorded outcome.
+	retries int
 	// aborted marks a request cut off by the run deadline itself; such
 	// samples are dropped — a shutdown artifact is not a service error.
 	aborted bool
@@ -147,10 +183,10 @@ type sample struct {
 // invalid.
 func Run(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	if opt.BaseURL == "" {
-		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	if len(opt.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: at least one target URL is required")
 	}
-	model, sendNames, err := resolveModel(ctx, opt.BaseURL, opt.Model)
+	model, sendNames, err := resolveModel(ctx, opt.Targets[0], opt.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +219,9 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{
 		Target: opt.BaseURL, Model: model, Mode: opt.Mode,
 		Concurrency: opt.Concurrency, DurationSeconds: elapsed,
+	}
+	if len(opt.Targets) > 1 {
+		rep.Targets = opt.Targets
 	}
 	if opt.Mode == ModeBatch || opt.Mode == ModeMixed {
 		rep.Batch = summarize(samples, "score", elapsed)
@@ -248,8 +287,11 @@ func resolveModel(ctx context.Context, baseURL, want string) (string, map[string
 // worker issues requests until the context expires. Each worker owns
 // deterministic scenario streams (seed + worker index), one per endpoint
 // it drives, chunked at that endpoint's request row count — traffic is
-// reproducible for a given option set.
+// reproducible for a given option set. With several targets, worker i
+// drives Targets[i mod len] for the whole run, spreading concurrency
+// evenly over the fleet.
 func worker(ctx context.Context, opt Options, model string, sendNames map[string]bool, id int, record func(sample)) {
+	target := opt.Targets[id%len(opt.Targets)]
 	mkStream := func(chunk int, seedOffset uint64) *roadnet.ScenarioStream {
 		scn := roadnet.DefaultScenarioOptions(math.MaxInt / 2)
 		scn.ChunkSize = chunk
@@ -285,14 +327,70 @@ func worker(ctx context.Context, opt Options, model string, sendNames map[string
 			if err != nil {
 				panic(fmt.Sprintf("loadgen: scenario stream failed: %v", err))
 			}
-			record(streamRequest(ctx, opt.BaseURL, model, b, include))
+			record(withRetry(ctx, opt, func() (sample, time.Duration) {
+				return streamRequest(ctx, target, model, b, include)
+			}))
 		} else {
 			b, err := batchSrc.Next()
 			if err != nil {
 				panic(fmt.Sprintf("loadgen: scenario stream failed: %v", err))
 			}
-			record(batchRequest(ctx, opt.BaseURL, model, b, include))
+			record(withRetry(ctx, opt, func() (sample, time.Duration) {
+				return batchRequest(ctx, target, model, b, include)
+			}))
 		}
+	}
+}
+
+// retryable reports whether a failed request is worth retrying: a 429
+// rejection (the server said "come back") or a transport error (the
+// connection never carried an answer, so resending is safe — scoring is
+// read-only).
+func retryable(status string) bool {
+	return status == "429" || status == "transport"
+}
+
+// withRetry runs one request, retrying per Options.Retry. A 429's
+// Retry-After hint sets the wait exactly (including zero); a failure
+// without a hint backs off exponentially from 50ms. The returned sample
+// is the final attempt's outcome with the retry count folded in, so a
+// retried-then-succeeded request reports ok with retries > 0.
+func withRetry(ctx context.Context, opt Options, fn func() (sample, time.Duration)) sample {
+	s, hint := fn()
+	if !opt.Retry {
+		return s
+	}
+	for attempt := 0; attempt < opt.RetryAttempts && !s.ok && !s.aborted && retryable(s.status); attempt++ {
+		wait := hint
+		if wait < 0 {
+			wait = 50 * time.Millisecond << attempt
+		}
+		if !sleepCtx(ctx, wait) {
+			// Run deadline hit mid-backoff: report the last real outcome.
+			s.retries = attempt
+			return s
+		}
+		var next sample
+		next, hint = fn()
+		next.retries = attempt + 1
+		s = next
+	}
+	return s
+}
+
+// sleepCtx waits d unless ctx ends first; it reports whether the full
+// wait completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 
@@ -313,8 +411,23 @@ func includeColumns(attrs []data.Attribute, sendNames map[string]bool) []include
 	return cols
 }
 
-// batchRequest sends one POST /score and measures it end to end.
-func batchRequest(ctx context.Context, baseURL, model string, b *data.Batch, include []includeColumn) sample {
+// retryAfterHint parses a 429's Retry-After header into a wait; -1 means
+// no usable hint (fall back to backoff). A zero hint is honored as-is —
+// "retry immediately" is a real server answer.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusTooManyRequests {
+		return -1
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return -1
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// batchRequest sends one POST /score and measures it end to end. The
+// second return is the server's Retry-After hint (-1 when absent).
+func batchRequest(ctx context.Context, baseURL, model string, b *data.Batch, include []includeColumn) (sample, time.Duration) {
 	segments := make([]map[string]any, b.Len())
 	for i := range segments {
 		seg := make(map[string]any, len(include))
@@ -341,14 +454,14 @@ func batchRequest(ctx context.Context, baseURL, model string, b *data.Batch, inc
 	if err != nil {
 		s.latency = time.Since(start)
 		s.aborted = ctx.Err() != nil
-		return s
+		return s, -1
 	}
 	defer resp.Body.Close()
 	s.status = strconv.Itoa(resp.StatusCode)
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
 		s.latency = time.Since(start)
-		return s
+		return s, retryAfterHint(resp)
 	}
 	var sr struct {
 		Scores []json.RawMessage `json:"scores"`
@@ -357,18 +470,19 @@ func batchRequest(ctx context.Context, baseURL, model string, b *data.Batch, inc
 		s.status = "truncated"
 		s.latency = time.Since(start)
 		s.aborted = ctx.Err() != nil
-		return s
+		return s, -1
 	}
 	s.latency = time.Since(start)
 	s.rows = int64(len(sr.Scores))
 	s.ok = true
-	return s
+	return s, -1
 }
 
 // streamRequest sends one POST /score/stream, reads every score line and
 // verifies the done trailer; a missing or failed trailer counts as a
-// truncated request.
-func streamRequest(ctx context.Context, baseURL, model string, b *data.Batch, include []includeColumn) sample {
+// truncated request. The second return is the server's Retry-After hint
+// (-1 when absent).
+func streamRequest(ctx context.Context, baseURL, model string, b *data.Batch, include []includeColumn) (sample, time.Duration) {
 	var body bytes.Buffer
 	buf := make([]byte, 0, 256)
 	for i := 0; i < b.Len(); i++ {
@@ -381,14 +495,14 @@ func streamRequest(ctx context.Context, baseURL, model string, b *data.Batch, in
 	if err != nil {
 		s.latency = time.Since(start)
 		s.aborted = ctx.Err() != nil
-		return s
+		return s, -1
 	}
 	defer resp.Body.Close()
 	s.status = strconv.Itoa(resp.StatusCode)
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
 		s.latency = time.Since(start)
-		return s
+		return s, retryAfterHint(resp)
 	}
 	rows := int64(0)
 	sawTrailer := false
@@ -413,11 +527,11 @@ func streamRequest(ctx context.Context, baseURL, model string, b *data.Batch, in
 	if !sawTrailer {
 		s.status = "truncated"
 		s.aborted = ctx.Err() != nil
-		return s
+		return s, -1
 	}
 	s.rows = rows
 	s.ok = true
-	return s
+	return s, -1
 }
 
 // appendNDJSONRow renders one scenario row as an NDJSON object carrying
@@ -485,12 +599,16 @@ func summarize(samples []sample, endpoint string, elapsed float64) *EndpointRepo
 		}
 		er.Requests++
 		er.StatusCounts[s.status]++
+		er.Retries += s.retries
 		if !s.ok {
 			er.Errors++
 			if s.status == "429" {
 				er.Rejected429++
 			}
 			continue
+		}
+		if s.retries > 0 {
+			er.RetriedOK++
 		}
 		ms := s.latency.Seconds() * 1000
 		latencies = append(latencies, ms)

@@ -2,11 +2,14 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -171,6 +174,207 @@ func TestRunErrors(t *testing.T) {
 	for _, m := range []string{"batch", "stream", "mixed"} {
 		if _, err := ParseMode(m); err != nil {
 			t.Errorf("ParseMode(%q): %v", m, err)
+		}
+	}
+}
+
+// fakeScorer is a minimal scoring service for retry/multi-target tests:
+// it lists one model and answers /score by echoing one score per segment.
+// reject429 holds how many initial /score requests get a 429 with an
+// immediate Retry-After hint; hits counts the /score requests received.
+func fakeScorer(t *testing.T, reject429 int, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/models", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"models":[{"name":"m","schema":["aadt","crash_prone"],"target":"crash_prone"}]}`)
+	})
+	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n <= int64(reject429) {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"error":"at capacity"}`)
+			return
+		}
+		var req struct {
+			Segments []json.RawMessage `json:"segments"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		scores := make([]string, len(req.Segments))
+		for i := range scores {
+			scores[i] = `{"risk":0.5}`
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"scores":[%s]}`, strings.Join(scores, ","))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunRetries429 pins the opt-in retry path: the service 429s the
+// first three /score requests (Retry-After: 0), then recovers. With
+// Retry on, the single affected request must be retried to success and
+// reported as retried-then-succeeded — not as a hard failure.
+func TestRunRetries429(t *testing.T) {
+	var hits atomic.Int64
+	srv := fakeScorer(t, 3, &hits)
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        ModeBatch,
+		Concurrency: 1,
+		Duration:    300 * time.Millisecond,
+		BatchRows:   8,
+		Retry:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Batch
+	if b.Errors != 0 {
+		t.Fatalf("retried run recorded hard failures: %+v", b)
+	}
+	if b.Retries != 3 || b.RetriedOK != 1 {
+		t.Fatalf("retries=%d retriedOK=%d, want exactly 3 retries rescuing 1 request", b.Retries, b.RetriedOK)
+	}
+	if b.StatusCounts["429"] != 0 || b.StatusCounts["200"] != b.Requests {
+		t.Fatalf("only final statuses should be counted: %+v", b.StatusCounts)
+	}
+	if b.Rejected429 != 0 {
+		t.Fatalf("rescued requests must not count as rejections: %+v", b)
+	}
+}
+
+// TestRunRetriesExhausted pins the bounded-attempts guarantee: a service
+// that never stops rejecting burns every retry and the request lands as
+// a 429 rejection, with the retries still on the books.
+func TestRunRetriesExhausted(t *testing.T) {
+	var hits atomic.Int64
+	srv := fakeScorer(t, 1<<30, &hits)
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:       srv.URL,
+		Mode:          ModeBatch,
+		Concurrency:   1,
+		Duration:      200 * time.Millisecond,
+		BatchRows:     8,
+		Retry:         true,
+		RetryAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Batch
+	if b.Requests == 0 || b.Rejected429 != b.Requests || b.RetriedOK != 0 {
+		t.Fatalf("exhausted retries must surface as rejections: %+v", b)
+	}
+	if b.Retries < 2*b.Requests {
+		t.Fatalf("retries=%d for %d requests with 2 attempts each, want every attempt counted", b.Retries, b.Requests)
+	}
+}
+
+// TestRunMultiTarget pins the fleet-spread path: with two targets and two
+// workers, both services must receive traffic and the report must name
+// the full target set.
+func TestRunMultiTarget(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	srvA := fakeScorer(t, 0, &hitsA)
+	srvB := fakeScorer(t, 0, &hitsB)
+
+	rep, err := Run(context.Background(), Options{
+		Targets:     []string{srvA.URL, srvB.URL},
+		Mode:        ModeBatch,
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		BatchRows:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("report targets = %v, want both", rep.Targets)
+	}
+	if rep.Batch.Errors != 0 {
+		t.Fatalf("healthy fleet recorded errors: %+v", rep.Batch)
+	}
+	if hitsA.Load() == 0 || hitsB.Load() == 0 {
+		t.Fatalf("traffic not spread: a=%d b=%d", hitsA.Load(), hitsB.Load())
+	}
+	// A request in flight when the run deadline hits is dropped from the
+	// report but still reaches a server, so the fleet may see a few more.
+	if got := hitsA.Load() + hitsB.Load(); got < int64(rep.Batch.Requests) {
+		t.Fatalf("fleet received %d requests, report says %d", got, rep.Batch.Requests)
+	}
+}
+
+// TestWithRetryBackoffWithoutHint pins the fallback schedule: transport
+// failures with no Retry-After hint back off exponentially until an
+// attempt succeeds, and the winning sample carries the retry count.
+func TestWithRetryBackoffWithoutHint(t *testing.T) {
+	opt := Options{Retry: true, RetryAttempts: 4}
+	calls := 0
+	start := time.Now()
+	s := withRetry(context.Background(), opt, func() (sample, time.Duration) {
+		calls++
+		if calls < 3 {
+			return sample{status: "transport"}, -1
+		}
+		return sample{status: "200", ok: true}, -1
+	})
+	if !s.ok || s.retries != 2 || calls != 3 {
+		t.Fatalf("ok=%v retries=%d calls=%d, want success on the 3rd attempt", s.ok, s.retries, calls)
+	}
+	// Two backoffs: 50ms + 100ms.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("retries finished in %v, want exponential backoff >= 150ms", elapsed)
+	}
+}
+
+// TestWithRetryDeadlineMidBackoff pins the run-boundary behavior: when
+// the run context expires during a backoff wait, the last real outcome
+// is reported instead of sleeping past the deadline.
+func TestWithRetryDeadlineMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	calls := 0
+	s := withRetry(ctx, Options{Retry: true, RetryAttempts: 4}, func() (sample, time.Duration) {
+		calls++
+		return sample{status: "transport"}, -1
+	})
+	if s.ok || s.status != "transport" || calls != 1 {
+		t.Fatalf("status=%q calls=%d, want the single pre-deadline attempt reported", s.status, calls)
+	}
+}
+
+// TestRetryAfterHint pins the hint parser: only a parseable, non-negative
+// Retry-After on a 429 is a hint; zero means retry now, everything else
+// falls back to backoff (-1).
+func TestRetryAfterHint(t *testing.T) {
+	mk := func(code int, retryAfter string) *http.Response {
+		h := http.Header{}
+		if retryAfter != "" {
+			h.Set("Retry-After", retryAfter)
+		}
+		return &http.Response{StatusCode: code, Header: h}
+	}
+	for _, tc := range []struct {
+		code int
+		hdr  string
+		want time.Duration
+	}{
+		{http.StatusOK, "3", -1},
+		{http.StatusTooManyRequests, "", -1},
+		{http.StatusTooManyRequests, "soon", -1},
+		{http.StatusTooManyRequests, "-2", -1},
+		{http.StatusTooManyRequests, "0", 0},
+		{http.StatusTooManyRequests, "2", 2 * time.Second},
+	} {
+		if got := retryAfterHint(mk(tc.code, tc.hdr)); got != tc.want {
+			t.Errorf("retryAfterHint(%d, %q) = %v, want %v", tc.code, tc.hdr, got, tc.want)
 		}
 	}
 }

@@ -148,6 +148,7 @@ type metric struct {
 
 	labels []string // label keys of the vecs below
 	cvec   *CounterVec
+	gvec   *GaugeVec
 	hvec   *HistogramVec
 }
 
@@ -199,6 +200,14 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	v := &CounterVec{series: make(map[string]*Counter), width: len(labels)}
 	r.add(&metric{name: name, help: help, typ: "counter", labels: labels, cvec: v})
+	return v
+}
+
+// GaugeVec registers a gauge family fanned out over the given label keys
+// (per-replica readiness, breaker states).
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{series: make(map[string]*Gauge), width: len(labels)}
+	r.add(&metric{name: name, help: help, typ: "gauge", labels: labels, gvec: v})
 	return v
 }
 
@@ -256,6 +265,35 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct {
+	mu     sync.RWMutex
+	width  int
+	series map[string]*Gauge
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use. The fast path for an existing series is a read lock.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != v.width {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), v.width))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	g, ok := v.series[k]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.series[k]; !ok {
+		g = &Gauge{}
+		v.series[k] = g
+	}
+	return g
+}
+
 // HistogramVec is a histogram family keyed by label values.
 type HistogramVec struct {
 	mu     sync.RWMutex
@@ -307,6 +345,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s{%s} %d\n", m.name, renderLabels(m.labels, k), m.cvec.series[k].Value())
 			}
 			m.cvec.mu.RUnlock()
+		case m.gvec != nil:
+			m.gvec.mu.RLock()
+			for _, k := range sortedKeys(m.gvec.series) {
+				fmt.Fprintf(&b, "%s{%s} %d\n", m.name, renderLabels(m.labels, k), m.gvec.series[k].Value())
+			}
+			m.gvec.mu.RUnlock()
 		case m.hvec != nil:
 			m.hvec.mu.RLock()
 			for _, k := range sortedKeys(m.hvec.series) {

@@ -256,3 +256,29 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("vec total = %d, want %d", total, goroutines*iters)
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("replica_ready", "Replica readiness.", "replica")
+	v.With("http://a:1").Set(1)
+	v.With("http://b:2").Set(0)
+	v.With("http://a:1").Set(0) // same series, not a new one
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE replica_ready gauge",
+		`replica_ready{replica="http://a:1"} 0`,
+		`replica_ready{replica="http://b:2"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, `replica="http://a:1"`) != 1 {
+		t.Fatalf("duplicate series for one label value:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed routes normally; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen ejects the replica: no traffic until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe request; its outcome decides
+	// between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+// String renders the state for health reports and metrics labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a consecutive-failure circuit breaker with half-open
+// probing. Threshold consecutive failures open it; after cooldown it
+// admits exactly one probe, whose outcome either recloses the circuit or
+// reopens it for another cooldown. All methods take the current time so
+// transitions are deterministic under test.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// CanRoute reports whether a request could be routed here now, without
+// changing state — the read-only test the replica picker uses to compare
+// candidates. The chosen replica must then pass Acquire, which performs
+// the open→half-open transition and claims the probe slot.
+func (b *breaker) CanRoute(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// Acquire claims the right to send one request. In the closed state it
+// always succeeds; an open breaker past its cooldown transitions to
+// half-open and grants the probe slot; a half-open breaker grants the
+// slot only if no probe is outstanding. A false return means another
+// goroutine won the probe race — pick a different replica.
+func (b *breaker) Acquire(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed request that proves the replica healthy:
+// the failure streak resets and a half-open probe recloses the circuit.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Fail records a failed request (connect error, 5xx, stall, mid-stream
+// death). A failed half-open probe reopens immediately; in the closed
+// state the threshold-th consecutive failure opens the circuit. Failures
+// reported while already open (stragglers admitted before the trip) do
+// not refresh the cooldown, so a backlog of in-flight failures cannot
+// starve the half-open probe forever.
+func (b *breaker) Fail(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.state = BreakerOpen
+		b.openedAt = now
+	case BreakerClosed:
+		if b.consecutive >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+		}
+	}
+}
+
+// State returns the current position for health reports and metrics.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,108 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full state machine with a synthetic
+// clock: closed under the threshold, open at it, half-open after the
+// cooldown with exactly one probe slot, reclosing on probe success and
+// reopening on probe failure.
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, 2*time.Second)
+
+	if b.State() != BreakerClosed || !b.CanRoute(t0) || !b.Acquire(t0) {
+		t.Fatal("fresh breaker must route")
+	}
+	// Failures under the threshold keep it closed; a success resets the
+	// streak, so intermittent errors never trip it.
+	b.Fail(t0)
+	b.Fail(t0)
+	b.Success()
+	b.Fail(t0)
+	b.Fail(t0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 consecutive failures = %v, want closed", b.State())
+	}
+	b.Fail(t0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state at threshold = %v, want open", b.State())
+	}
+	if b.CanRoute(t0.Add(time.Second)) || b.Acquire(t0.Add(time.Second)) {
+		t.Fatal("open breaker inside cooldown must not route")
+	}
+
+	// Past the cooldown: routable, and Acquire claims the single probe.
+	t1 := t0.Add(2 * time.Second)
+	if !b.CanRoute(t1) {
+		t.Fatal("open breaker past cooldown must admit a probe")
+	}
+	if !b.Acquire(t1) {
+		t.Fatal("first Acquire past cooldown must win the probe slot")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe acquire = %v, want half-open", b.State())
+	}
+	if b.CanRoute(t1) || b.Acquire(t1) {
+		t.Fatal("second caller must not get a probe while one is outstanding")
+	}
+
+	// Failed probe reopens for a fresh cooldown from the failure time.
+	b.Fail(t1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.CanRoute(t1.Add(time.Second)) {
+		t.Fatal("reopened breaker must restart its cooldown")
+	}
+
+	// Successful probe recloses fully: routing resumes and the failure
+	// streak starts over.
+	t2 := t1.Add(2 * time.Second)
+	if !b.Acquire(t2) {
+		t.Fatal("probe after second cooldown must be granted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Acquire(t2) {
+		t.Fatal("successful probe must reclose the breaker")
+	}
+	b.Fail(t2)
+	b.Fail(t2)
+	if b.State() != BreakerClosed {
+		t.Fatal("failure streak must restart after reclose")
+	}
+}
+
+// TestBreakerStragglersDoNotStarveProbe pins the cooldown anchor: slow
+// failures still landing while the breaker is already open must not push
+// the half-open probe further and further away.
+func TestBreakerStragglersDoNotStarveProbe(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := newBreaker(1, time.Second)
+	b.Fail(t0)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker must open at threshold 1")
+	}
+	// Stragglers report failures throughout the cooldown window.
+	b.Fail(t0.Add(300 * time.Millisecond))
+	b.Fail(t0.Add(600 * time.Millisecond))
+	b.Fail(t0.Add(900 * time.Millisecond))
+	if !b.Acquire(t0.Add(time.Second)) {
+		t.Fatal("probe must be admitted one cooldown after the open, despite stragglers")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("state %d = %q, want %q", state, got, want)
+		}
+	}
+}

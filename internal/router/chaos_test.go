@@ -1,0 +1,58 @@
+package router
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"roadcrash/internal/faultproxy"
+	"roadcrash/internal/serve"
+)
+
+// TestRouterChaosBatchZeroHardErrors is the headline robustness claim:
+// with one replica behind a fault proxy injecting latency spikes,
+// connection resets and 502 bursts, a hedging router serves every batch
+// request correctly — zero hard client errors, bit-identical scores.
+func TestRouterChaosBatchZeroHardErrors(t *testing.T) {
+	dir := t.TempDir()
+	dt := trainModel(t, dir, "cp-8-tree", labelV1)
+	faulty := startReplica(t, dir, serve.Config{})
+	clean := startReplica(t, dir, serve.Config{})
+
+	proxy, err := faultproxy.New(faultproxy.Config{
+		Target:       faulty.URL,
+		Latency:      200 * time.Millisecond,
+		LatencyEvery: 3,
+		ResetEvery:   5,
+		ErrorEvery:   7,
+		ErrorBurst:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(proxy)
+	t.Cleanup(proxySrv.Close)
+
+	_, srv := newTestRouter(t, Config{
+		Replicas:        []string{proxySrv.URL, clean.URL},
+		MaxAttempts:     4,
+		HedgeAfter:      40 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 100 * time.Millisecond,
+	})
+
+	want := probePrediction(dt)
+	for i := 0; i < 40; i++ {
+		code, risk := scoreVia(t, srv.URL)
+		if code != http.StatusOK {
+			t.Fatalf("request %d under chaos: status %d, want 200 (hard client error)", i, code)
+		}
+		if risk != want {
+			t.Fatalf("request %d under chaos: risk %v, want %v", i, risk, want)
+		}
+	}
+	if s := proxy.Stats(); s.Resets == 0 && s.Errored == 0 && s.Delayed == 0 {
+		t.Fatalf("fault proxy injected nothing (%+v) — the chaos test tested nothing", s)
+	}
+}

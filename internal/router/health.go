@@ -1,0 +1,96 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// inFlightMetric is the replica gauge the poller reads for external
+// load; it matches the serve tier's /metrics exposition.
+const inFlightMetric = "crashprone_in_flight_requests"
+
+// pollLoop polls one replica every PollInterval until Close.
+func (rt *Router) pollLoop(rep *replica) {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.pollOnce(rep)
+		}
+	}
+}
+
+// pollOnce refreshes one replica's readiness and external-load gauge. A
+// replica is ready iff its /healthz answers 200 — a replica serving zero
+// models answers 503 and is excluded from routing even though its
+// process is alive. The /metrics poll is best-effort: an unreachable
+// metrics page zeroes the external load rather than going stale forever.
+func (rt *Router) pollOnce(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.PollInterval)
+	defer cancel()
+
+	ready := false
+	if resp, err := rt.pollGet(ctx, rep.base+"/healthz"); err == nil {
+		ready = resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+	}
+	rep.ready.Store(ready)
+	if ready {
+		rep.extLoad.Store(rt.pollInFlight(ctx, rep))
+	} else {
+		rep.extLoad.Store(0)
+	}
+	if ready {
+		rt.replicaReady.With(rep.base).Set(1)
+	} else {
+		rt.replicaReady.With(rep.base).Set(0)
+	}
+	rt.breakerState.With(rep.base).Set(int64(rep.br.State()))
+}
+
+// pollInFlight scrapes the replica's in-flight gauge from its /metrics
+// page; zero on any failure.
+func (rt *Router) pollInFlight(ctx context.Context, rep *replica) int64 {
+	resp, err := rt.pollGet(ctx, rep.base+"/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, inFlightMetric) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[0] != inFlightMetric {
+			continue
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || v < 0 {
+			return 0
+		}
+		return v
+	}
+	return 0
+}
+
+// pollGet issues one poller GET with the shared client.
+func (rt *Router) pollGet(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rt.client.Do(req)
+}

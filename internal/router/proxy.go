@@ -1,0 +1,321 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// attemptResult is one routed attempt against one replica: either a
+// final response to forward, or a retryable failure with the context the
+// retry loop needs (outcome class, Retry-After hint, last status).
+type attemptResult struct {
+	rep        *replica
+	resp       *http.Response // non-nil only when final
+	cancel     context.CancelFunc
+	err        error
+	outcome    string // ok, rejected, error
+	final      bool
+	retryAfter time.Duration
+	status     int // status of a non-final response, for exhaustion reporting
+	hedge      bool
+}
+
+// discard releases a result that will not be forwarded (a hedge loser or
+// a late arrival): drain a little so the connection can be reused, close,
+// cancel.
+func (a *attemptResult) discard() {
+	if a.resp != nil {
+		io.Copy(io.Discard, io.LimitReader(a.resp.Body, 64<<10))
+		a.resp.Body.Close()
+	}
+	if a.cancel != nil {
+		a.cancel()
+	}
+}
+
+// send performs one attempt against one replica and classifies it. A
+// final result carries an open response body plus the cancel that must
+// run after the body is consumed; a retryable one is already closed.
+func (rt *Router) send(parent context.Context, rep *replica, method, path string, header http.Header, body io.Reader) attemptResult {
+	ctx, cancel := context.WithTimeout(parent, rt.cfg.AttemptTimeout)
+	req, err := http.NewRequestWithContext(ctx, method, rep.base+path, body)
+	if err != nil {
+		cancel()
+		return attemptResult{rep: rep, err: err, outcome: "error"}
+	}
+	if ct := header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	rep.inflight.Add(1)
+	resp, err := rt.client.Do(req)
+	rep.inflight.Add(-1)
+
+	res := attemptResult{rep: rep, resp: resp, cancel: cancel, err: err}
+	switch {
+	case err != nil:
+		res.outcome = "error"
+	case resp.StatusCode == http.StatusTooManyRequests:
+		res.outcome = "rejected"
+	case resp.StatusCode >= 500:
+		res.outcome = "error"
+	default:
+		// 2xx is success; a non-429 4xx (unknown model, bad JSON) is the
+		// client's problem, not the replica's — the replica is healthy and
+		// the answer is final.
+		res.outcome = "ok"
+		res.final = true
+	}
+	rt.recordOutcome(rep, res.outcome)
+	if !res.final && resp != nil {
+		res.status = resp.StatusCode
+		res.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		res.resp = nil
+		res.cancel()
+		res.cancel = nil
+	}
+	return res
+}
+
+// handleScore routes a batch scoring request with retries and optional
+// hedging. The body is fully buffered (it is bounded), so every attempt
+// replays it verbatim — the call is idempotent by construction.
+func (rt *Router) handleScore(w http.ResponseWriter, req *http.Request) {
+	rt.routeBuffered(w, req, "/score")
+}
+
+// handleModels proxies the model listing with the same retry discipline
+// as a batch call.
+func (rt *Router) handleModels(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		rt.countAndError(w, "/models", http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rt.routeBuffered(w, req, "/models")
+}
+
+// routeBuffered is the shared retry+hedge engine for bufferable calls
+// (POST /score, GET /models).
+func (rt *Router) routeBuffered(w http.ResponseWriter, req *http.Request, endpoint string) {
+	start := time.Now()
+	if endpoint == "/score" && req.Method != http.MethodPost {
+		rt.countAndError(w, endpoint, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.countAndError(w, endpoint, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+		return
+	}
+
+	tried := make(map[*replica]bool)
+	var last attemptResult
+	for attempt := 0; attempt < rt.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rt.retries.With(endpoint).Inc()
+			if !rt.sleep(req.Context(), rt.backoffDelay(attempt-1, last.retryAfter)) {
+				rt.countAndError(w, endpoint, statusClientClosed, "client gave up during retry backoff")
+				return
+			}
+		}
+		res, routed := rt.round(req, endpoint, body, tried)
+		if !routed {
+			rt.writeNoReplicas(w, endpoint)
+			return
+		}
+		if res.final {
+			rt.forward(w, res, endpoint, start)
+			return
+		}
+		last = res
+	}
+	rt.writeExhausted(w, endpoint, last)
+}
+
+// round performs one retry-loop round: a single attempt, or — when
+// hedging is enabled — a primary attempt raced against a delayed hedge on
+// a different replica. The second return is false when no replica was
+// eligible.
+func (rt *Router) round(req *http.Request, endpoint string, body []byte, tried map[*replica]bool) (attemptResult, bool) {
+	primary := rt.pickPreferFresh(tried)
+	if primary == nil {
+		return attemptResult{}, false
+	}
+	tried[primary] = true
+
+	if rt.cfg.HedgeAfter <= 0 {
+		return rt.send(req.Context(), primary, req.Method, endpoint, req.Header, bytes.NewReader(body)), true
+	}
+
+	ch := make(chan attemptResult, 2)
+	launch := func(rep *replica, hedge bool) context.CancelFunc {
+		actx, acancel := context.WithCancel(req.Context())
+		go func() {
+			res := rt.send(actx, rep, req.Method, endpoint, req.Header, bytes.NewReader(body))
+			res.hedge = hedge
+			ch <- res
+		}()
+		return acancel
+	}
+	cancels := map[bool]context.CancelFunc{false: launch(primary, false)}
+
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+	inFlight := 1
+	var results []attemptResult
+	for inFlight > 0 {
+		select {
+		case res := <-ch:
+			inFlight--
+			if res.final {
+				// Winner. Kill the straggler (if any) and discard its
+				// result off-path so its connection is cleaned up.
+				if other := cancels[!res.hedge]; other != nil && inFlight > 0 {
+					other()
+					go func(n int) {
+						for i := 0; i < n; i++ {
+							late := <-ch
+							late.discard()
+						}
+					}(inFlight)
+				}
+				// Fold the attempt's own cancel into the result so forward
+				// releases it after the body is copied.
+				if own, prev := cancels[res.hedge], res.cancel; own != nil {
+					res.cancel = func() {
+						if prev != nil {
+							prev()
+						}
+						own()
+					}
+				}
+				if res.hedge {
+					rt.hedges.With("won").Inc()
+				}
+				return res, true
+			}
+			results = append(results, res)
+			if inFlight > 0 {
+				continue // the other attempt may still succeed
+			}
+			// Both (or the only) attempt failed: release the attempt
+			// contexts and hand the last failure to the retry loop.
+			for _, c := range cancels {
+				c()
+			}
+			return results[len(results)-1], true
+		case <-timer.C:
+			if second := rt.pickPreferFresh(tried); second != nil {
+				tried[second] = true
+				rt.hedges.With("launched").Inc()
+				cancels[true] = launch(second, true)
+				inFlight++
+			}
+		}
+	}
+	return results[len(results)-1], true
+}
+
+// forward streams a final response back to the client and records the
+// request metrics.
+func (rt *Router) forward(w http.ResponseWriter, res attemptResult, endpoint string, start time.Time) {
+	defer res.cancel()
+	defer res.resp.Body.Close()
+	copyHeader(w.Header(), res.resp.Header)
+	w.WriteHeader(res.resp.StatusCode)
+	io.Copy(w, res.resp.Body)
+	rt.requests.With(endpoint, strconv.Itoa(res.resp.StatusCode)).Inc()
+	rt.latency.With(endpoint).Observe(time.Since(start).Seconds())
+}
+
+// statusClientClosed is nginx's 499: the client went away before the
+// router could answer. Never actually received by anyone; it keeps the
+// metrics honest.
+const statusClientClosed = 499
+
+// sleep waits d or until ctx is done; it reports whether the full wait
+// completed.
+func (rt *Router) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// writeNoReplicas answers for a fleet with no routable replica: a fast
+// 503 with a Retry-After covering the breaker cooldown, instead of
+// hanging the client while nothing can possibly serve it.
+func (rt *Router) writeNoReplicas(w http.ResponseWriter, endpoint string) {
+	w.Header().Set("Retry-After", rt.retryAfterHeader)
+	rt.countJSON(w, endpoint, http.StatusServiceUnavailable, map[string]any{
+		"error": "no eligible replicas: all replicas are down, unready or circuit-broken",
+	})
+}
+
+// writeExhausted answers after every attempt failed: a 429 when the last
+// word from the fleet was "at capacity" (propagating its Retry-After), a
+// 502 otherwise.
+func (rt *Router) writeExhausted(w http.ResponseWriter, endpoint string, last attemptResult) {
+	if last.status == http.StatusTooManyRequests {
+		ra := rt.retryAfterHeader
+		if last.retryAfter > 0 {
+			ra = strconv.FormatInt(int64((last.retryAfter+time.Second-1)/time.Second), 10)
+		}
+		w.Header().Set("Retry-After", ra)
+		rt.countJSON(w, endpoint, http.StatusTooManyRequests, map[string]any{
+			"error": fmt.Sprintf("all replicas at capacity after %d attempts", rt.cfg.MaxAttempts),
+		})
+		return
+	}
+	msg := fmt.Sprintf("all %d attempts failed", rt.cfg.MaxAttempts)
+	if last.err != nil {
+		msg += ": " + last.err.Error()
+	} else if last.status != 0 {
+		msg += fmt.Sprintf(": last replica answered %d", last.status)
+	}
+	rt.countJSON(w, endpoint, http.StatusBadGateway, map[string]any{"error": msg})
+}
+
+// copyHeader copies every header value from src to dst.
+func copyHeader(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// countJSON writes a JSON response and counts it in the request metrics.
+func (rt *Router) countJSON(w http.ResponseWriter, endpoint string, status int, v any) {
+	writeJSON(w, status, v)
+	rt.requests.With(endpoint, strconv.Itoa(status)).Inc()
+}
+
+// countAndError writes a JSON error and counts it in the request metrics.
+func (rt *Router) countAndError(w http.ResponseWriter, endpoint string, status int, msg string) {
+	rt.countJSON(w, endpoint, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,137 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// FleetReloadResponse answers the router's POST /reload.
+type FleetReloadResponse struct {
+	// Models is the model set now serving on every replica.
+	Models []string `json:"models"`
+	// Replicas is how many replicas committed the new set.
+	Replicas int `json:"replicas"`
+}
+
+// phaseResult is one replica's answer to a reload phase call.
+type phaseResult struct {
+	rep    *replica
+	err    error
+	models []string
+}
+
+// handleReload rolls the whole fleet to the replicas' ReloadDir
+// atomically, using their two-phase endpoints: prepare everywhere first
+// (all the fallible decode/compile work), and only if every replica
+// staged successfully, commit everywhere (an infallible pointer swap).
+// If any replica fails to prepare, every replica is told to abort and
+// the old model set keeps serving fleet-wide — Registry.ReloadDir
+// semantics lifted one level up. A commit can only fail if a replica
+// dies inside the tiny prepare→commit window; that partial state is
+// reported honestly rather than papered over.
+func (rt *Router) handleReload(w http.ResponseWriter, req *http.Request) {
+	const endpoint = "/reload"
+	if req.Method != http.MethodPost {
+		rt.countAndError(w, endpoint, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+
+	prepared := rt.phase(req.Context(), "/reload/prepare")
+	if err := firstError(prepared); err != nil {
+		rt.phase(req.Context(), "/reload/abort")
+		rt.fleetReloads.With("prepare_error").Inc()
+		rt.countAndError(w, endpoint, http.StatusBadGateway,
+			fmt.Sprintf("fleet reload aborted, previous model set still serving everywhere: %v", err))
+		return
+	}
+
+	committed := rt.phase(req.Context(), "/reload/commit")
+	if err := firstError(committed); err != nil {
+		okCount := 0
+		for _, r := range committed {
+			if r.err == nil {
+				okCount++
+			}
+		}
+		rt.fleetReloads.With("commit_error").Inc()
+		rt.countAndError(w, endpoint, http.StatusBadGateway,
+			fmt.Sprintf("fleet reload commit incomplete: %d/%d replicas committed the new set: %v",
+				okCount, len(committed), err))
+		return
+	}
+
+	rt.fleetReloads.With("ok").Inc()
+	rt.countJSON(w, endpoint, http.StatusOK, FleetReloadResponse{
+		Models:   committed[0].models,
+		Replicas: len(committed),
+	})
+}
+
+// phase POSTs one reload phase to every replica in parallel — including
+// unready and circuit-broken ones: a rollout must cover the whole fleet
+// or fail, never silently skip a replica that might come back with the
+// old models.
+func (rt *Router) phase(parent context.Context, path string) []phaseResult {
+	results := make([]phaseResult, len(rt.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range rt.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			results[i] = rt.phaseCall(parent, rep, path)
+		}(i, rep)
+	}
+	wg.Wait()
+	return results
+}
+
+// phaseCall POSTs one reload phase to one replica and decodes its
+// answer.
+func (rt *Router) phaseCall(parent context.Context, rep *replica, path string) phaseResult {
+	ctx, cancel := context.WithTimeout(parent, rt.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+path, nil)
+	if err != nil {
+		return phaseResult{rep: rep, err: err}
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return phaseResult{rep: rep, err: fmt.Errorf("%s: %w", rep.base, err)}
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode != http.StatusOK {
+		return phaseResult{rep: rep, err: fmt.Errorf("%s%s answered %d: %s",
+			rep.base, path, resp.StatusCode, compactBody(body))}
+	}
+	var decoded struct {
+		Models []string `json:"models"`
+	}
+	json.Unmarshal(body, &decoded)
+	return phaseResult{rep: rep, models: decoded.Models}
+}
+
+// firstError returns the first failure in a phase, in replica order.
+func firstError(results []phaseResult) error {
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+// compactBody renders an error body on one bounded line.
+func compactBody(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roadcrash/internal/serve"
+)
+
+// TestRouterReloadSoak mixes live batch and stream traffic with a fleet
+// reload loop flipping the model set between two versions. Run under
+// -race this is the concurrency proof for the tier: every request must
+// succeed and score consistently with one of the two versions — a
+// rollout never yields an error, a torn read or a truncated stream.
+func TestRouterReloadSoak(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	v1 := trainModel(t, dirA, "cp-8-tree", labelV1)
+	// Snapshot both artifact versions as raw bytes so the reload loop can
+	// swap them in atomically via rename.
+	v1Bytes, err := os.ReadFile(filepath.Join(dirA, "cp-8-tree.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := trainModel(t, dirA, "cp-8-tree", labelV2)
+	v2Bytes, err := os.ReadFile(filepath.Join(dirA, "cp-8-tree.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV1, wantV2 := probePrediction(v1), probePrediction(v2)
+	if wantV1 == wantV2 {
+		t.Fatal("fixture versions must predict differently for the probe")
+	}
+	if err := os.WriteFile(filepath.Join(dirB, "cp-8-tree.json"), v2Bytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repA := startReplica(t, dirA, serve.Config{ReloadDir: dirA})
+	repB := startReplica(t, dirB, serve.Config{ReloadDir: dirB})
+	_, srv := newTestRouter(t, Config{
+		Replicas:    []string{repA.URL, repB.URL},
+		MaxAttempts: 3,
+	})
+
+	duration := 1500 * time.Millisecond
+	if testing.Short() {
+		duration = 300 * time.Millisecond
+	}
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Reloader: flip both replicas' artifact (atomic rename) and roll the
+	// fleet. Every reload must succeed — both dirs always hold a valid
+	// artifact.
+	var reloads atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			blob := v1Bytes
+			if i%2 == 1 {
+				blob = v2Bytes
+			}
+			for _, dir := range []string{dirA, dirB} {
+				tmp := filepath.Join(dir, ".next.json.tmp")
+				if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+					report("writing artifact: %v", err)
+					return
+				}
+				if err := os.Rename(tmp, filepath.Join(dir, "cp-8-tree.json")); err != nil {
+					report("swapping artifact: %v", err)
+					return
+				}
+			}
+			resp, err := http.Post(srv.URL+"/reload", "application/json", nil)
+			if err != nil {
+				report("fleet reload: %v", err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				report("fleet reload %d: %s", resp.StatusCode, body)
+				return
+			}
+			reloads.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Traffic workers: batch and stream through the router; every result
+	// must be a success scoring as exactly v1 or v2.
+	var requests atomic.Int64
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				requests.Add(1)
+				if (w+i)%2 == 0 {
+					code, risk, err := soakScore(srv.URL)
+					if err != nil {
+						report("batch: %v", err)
+						return
+					}
+					if code != http.StatusOK || (risk != wantV1 && risk != wantV2) {
+						report("batch status %d risk %v, want 200 with v1 %v or v2 %v", code, risk, wantV1, wantV2)
+						return
+					}
+				} else {
+					if err := soakStream(srv.URL, 64); err != nil {
+						report("stream: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if reloads.Load() == 0 || requests.Load() == 0 {
+		t.Fatalf("soak exercised nothing: %d reloads, %d requests", reloads.Load(), requests.Load())
+	}
+	t.Logf("soak: %d requests across %d fleet reloads", requests.Load(), reloads.Load())
+}
+
+// soakScore is scoreVia with error returns, safe outside the test
+// goroutine.
+func soakScore(url string) (int, float64, error) {
+	body := `{"model":"cp-8-tree","segments":[{"aadt":1700,"surface":"gravel"}]}`
+	resp, err := http.Post(url+"/score", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Scores []struct {
+			Risk float64 `json:"risk"`
+		} `json:"scores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || len(sr.Scores) == 0 {
+		return resp.StatusCode, -1, nil
+	}
+	return resp.StatusCode, sr.Scores[0].Risk, nil
+}
+
+// soakStream is streamVia with error returns: the stream must answer
+// 200, carry rows score lines and finish with a done trailer.
+func soakStream(url string, rows int) error {
+	var body bytes.Buffer
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&body, `{"aadt": %d, "surface": "seal"}`+"\n", 1000+i)
+	}
+	resp, err := http.Post(url+"/score/stream?model=cp-8-tree", "application/x-ndjson", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("stream status %d: %s", resp.StatusCode, raw)
+	}
+	seen := 0
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line struct {
+			Done  *bool  `json:"done"`
+			Rows  int    `json:"rows"`
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			return fmt.Errorf("bad stream line after %d rows: %w", seen, err)
+		}
+		if line.Done != nil {
+			if !*line.Done || line.Error != "" || line.Rows != rows {
+				return fmt.Errorf("trailer done=%v rows=%d err=%q, want clean %d", *line.Done, line.Rows, line.Error, rows)
+			}
+			return nil
+		}
+		seen++
+	}
+	return fmt.Errorf("stream ended with no trailer after %d rows", seen)
+}

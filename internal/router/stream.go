@@ -1,0 +1,248 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"roadcrash/internal/serve"
+)
+
+// trailerPrefix identifies the stream trailer line. Score lines start
+// with {"risk": — only the trailer opens with the done field.
+var trailerPrefix = []byte(`{"done":`)
+
+// replayBody tees the client's stream request body into a capped buffer
+// so a failed attempt can be replayed on another replica. Once the
+// buffer cap is exceeded the body is marked single-shot: the router
+// keeps constant memory per stream no matter how large the feed is.
+type replayBody struct {
+	src      io.Reader // the client body, advanced as attempts consume it
+	buf      []byte
+	cap      int
+	overflow bool
+}
+
+// Write implements the tee sink: it stores bytes up to the cap and
+// silently drops the rest (a tee writer must not fail the read).
+func (rb *replayBody) Write(p []byte) (int, error) {
+	if !rb.overflow {
+		room := rb.cap - len(rb.buf)
+		if room >= len(p) {
+			rb.buf = append(rb.buf, p...)
+		} else {
+			rb.overflow = true
+			rb.buf = rb.buf[:0] // a partial replay is useless; free it
+		}
+	}
+	return len(p), nil
+}
+
+// reader returns the body for the next attempt: everything buffered so
+// far, then the unread remainder of the client body, with the remainder
+// teed for a further retry. bytes.NewReader snapshots the current
+// buffer, so appends during the attempt cannot corrupt the replay.
+func (rb *replayBody) reader() io.Reader {
+	buffered := bytes.NewReader(rb.buf)
+	return io.MultiReader(buffered, io.TeeReader(rb.src, rb))
+}
+
+// canReplay reports whether another attempt can resend the full body.
+func (rb *replayBody) canReplay() bool { return !rb.overflow }
+
+// stallGuard cuts off a streaming replica that stops sending: every
+// successful read pushes the deadline StreamStallTimeout ahead; when the
+// timer fires it cancels the attempt context, failing the read.
+type stallGuard struct {
+	r     io.Reader
+	timer *time.Timer
+	d     time.Duration
+}
+
+func (g *stallGuard) Read(p []byte) (int, error) {
+	n, err := g.r.Read(p)
+	if err == nil {
+		g.timer.Reset(g.d)
+	}
+	return n, err
+}
+
+// handleStream routes POST /score/stream. Retries happen only while
+// nothing has been forwarded to the client and the request body still
+// fits the replay buffer; once response bytes flow, a dying replica is
+// surfaced through the trailer contract instead — the router appends
+// {"done":false,"rows":N,"error":...} so the client always learns the
+// stream was truncated.
+func (rt *Router) handleStream(w http.ResponseWriter, req *http.Request) {
+	const endpoint = "/score/stream"
+	start := time.Now()
+	if req.Method != http.MethodPost {
+		rt.countAndError(w, endpoint, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	path := endpoint
+	if q := req.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+
+	rb := &replayBody{src: req.Body, cap: rt.cfg.StreamReplayBytes}
+	tried := make(map[*replica]bool)
+	var last attemptResult
+	for attempt := 0; attempt < rt.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !rb.canReplay() {
+				break // body too large to resend; report the failure
+			}
+			rt.retries.With(endpoint).Inc()
+			if !rt.sleep(req.Context(), rt.backoffDelay(attempt-1, last.retryAfter)) {
+				rt.requests.With(endpoint, strconv.Itoa(statusClientClosed)).Inc()
+				return
+			}
+		}
+		rep := rt.pickPreferFresh(tried)
+		if rep == nil {
+			rt.writeNoReplicas(w, endpoint)
+			return
+		}
+		tried[rep] = true
+		res := rt.streamAttempt(req, rep, path, rb)
+		if res.final {
+			rt.forwardStream(w, req, res, endpoint, start)
+			return
+		}
+		last = res
+	}
+	rt.writeExhausted(w, endpoint, last)
+}
+
+// streamAttempt opens one upstream stream. Unlike send it must not use
+// AttemptTimeout — a legitimate stream can run for hours — so the
+// attempt context lives until the stream ends and staleness is policed
+// by the stall guard plus the transport's response-header timeout.
+func (rt *Router) streamAttempt(req *http.Request, rep *replica, path string, rb *replayBody) attemptResult {
+	ctx, cancel := context.WithCancel(req.Context())
+	upReq, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+path, rb.reader())
+	if err != nil {
+		cancel()
+		rt.recordOutcome(rep, "error")
+		return attemptResult{rep: rep, err: err, outcome: "error"}
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		upReq.Header.Set("Content-Type", ct)
+	}
+	rep.inflight.Add(1)
+	resp, err := rt.client.Do(upReq)
+	rep.inflight.Add(-1)
+
+	res := attemptResult{rep: rep, resp: resp, cancel: cancel, err: err}
+	switch {
+	case err != nil:
+		res.outcome = "error"
+	case resp.StatusCode == http.StatusTooManyRequests:
+		res.outcome = "rejected"
+	case resp.StatusCode >= 500:
+		res.outcome = "error"
+	default:
+		res.outcome = "ok"
+		res.final = true
+	}
+	// A non-2xx final answer (404 unknown model, 400) settles the breaker
+	// now; a 200 stream's verdict waits for the trailer in forwardStream.
+	if !res.final || resp.StatusCode != http.StatusOK {
+		rt.recordOutcome(rep, res.outcome)
+	}
+	if !res.final && resp != nil {
+		res.status = resp.StatusCode
+		res.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		res.resp = nil
+		cancel()
+		res.cancel = nil
+	}
+	return res
+}
+
+// forwardStream relays an accepted upstream stream line by line,
+// counting score rows and watching for the trailer. If upstream ends
+// without one — the replica died mid-stream — the router appends a
+// {"done":false} trailer naming the replica and trips its breaker.
+func (rt *Router) forwardStream(w http.ResponseWriter, req *http.Request, res attemptResult, endpoint string, start time.Time) {
+	defer res.cancel()
+	defer res.resp.Body.Close()
+	rt.requests.With(endpoint, strconv.Itoa(res.resp.StatusCode)).Inc()
+	defer func() { rt.latency.With(endpoint).Observe(time.Since(start).Seconds()) }()
+
+	copyHeader(w.Header(), res.resp.Header)
+	w.Header().Del("Content-Length") // relayed line-by-line; length unknown
+	w.WriteHeader(res.resp.StatusCode)
+	if res.resp.StatusCode != http.StatusOK {
+		io.Copy(w, res.resp.Body)
+		return
+	}
+
+	rc := http.NewResponseController(w)
+	stall := &stallGuard{r: res.resp.Body, d: rt.cfg.StreamStallTimeout}
+	stall.timer = time.AfterFunc(rt.cfg.StreamStallTimeout, res.cancel)
+	defer stall.timer.Stop()
+
+	scanner := bufio.NewScanner(stall)
+	scanner.Buffer(make([]byte, 64<<10), 1<<20)
+	rows := 0
+	pending := 0
+	lastFlush := time.Now()
+	sawTrailer := false
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if bytes.HasPrefix(line, trailerPrefix) {
+			sawTrailer = true
+		} else {
+			rows++
+		}
+		if _, err := w.Write(line); err != nil {
+			// Client went away; drain nothing further.
+			rt.recordOutcome(res.rep, "ok") // the replica did its job
+			return
+		}
+		io.WriteString(w, "\n")
+		pending++
+		// Flush in small batches so rows reach the client promptly
+		// without paying a flush per line on fast streams.
+		if pending >= 64 || time.Since(lastFlush) > 50*time.Millisecond {
+			rc.Flush()
+			pending = 0
+			lastFlush = time.Now()
+		}
+	}
+
+	if sawTrailer {
+		rt.recordOutcome(res.rep, "ok")
+	} else {
+		// Upstream ended with no trailer: the replica died (or stalled
+		// out) mid-stream. Tell the client honestly and trip the breaker.
+		reason := "connection closed"
+		if err := scanner.Err(); err != nil {
+			reason = err.Error()
+		}
+		trailer := serve.StreamTrailer{
+			Done: false,
+			Rows: rows,
+			Error: fmt.Sprintf("replica %s died mid-stream after %d rows: %s",
+				res.rep.base, rows, reason),
+		}
+		if b, err := json.Marshal(trailer); err == nil {
+			w.Write(append(b, '\n'))
+		}
+		rt.recordOutcome(res.rep, "error")
+	}
+	rc.Flush()
+}

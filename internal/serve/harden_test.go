@@ -652,3 +652,157 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("RunListener did not return after drain")
 	}
 }
+
+// TestHealthzReadiness pins the readiness contract a routing tier relies
+// on: an empty registry answers 503 not-ready (so no traffic is routed to
+// a replica that can only 404), ?live=1 stays 200 regardless (the process
+// is alive even if useless), and loading a model flips readiness to 200.
+func TestHealthzReadiness(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("empty registry /healthz = %d, want 503", code)
+	}
+	if ready, _ := body["ready"].(bool); ready {
+		t.Fatalf("empty registry reports ready: %v", body)
+	}
+	if code, body = get("/healthz?live=1"); code != http.StatusOK {
+		t.Fatalf("liveness with empty registry = %d (%v), want 200", code, body)
+	}
+
+	dir := t.TempDir()
+	trainFixture(t, dir, "cp-8-tree", labelV1)
+	if _, err := reg.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("loaded registry /healthz = %d, want 200", code)
+	}
+	if ready, _ := body["ready"].(bool); !ready {
+		t.Fatalf("loaded registry not ready: %v", body)
+	}
+	if n, _ := body["models"].(float64); n != 1 {
+		t.Fatalf("models = %v, want 1", body["models"])
+	}
+}
+
+// TestStagedReload exercises the two-phase rollout endpoints the fleet
+// controller drives: prepare stages without serving, commit swaps, a
+// commit without a prepare 409s, abort discards the staged set, and a
+// failed prepare clears any previously staged set so a later commit
+// cannot resurrect it.
+func TestStagedReload(t *testing.T) {
+	dir := t.TempDir()
+	v1 := trainFixture(t, dir, "cp-8-tree", labelV1)
+	reg := NewRegistry()
+	if _, err := reg.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{ReloadDir: dir})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	probe := []map[string]any{{"aadt": 1700.0, "surface": "gravel"}}
+	probeRow := []float64{1700, 1, data.Missing}
+	scoreOnce := func() float64 {
+		t.Helper()
+		raw, _ := json.Marshal(ScoreRequest{Model: "cp-8-tree", Segments: probe})
+		resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr ScoreResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.Scores[0].Risk
+	}
+	post := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	wantV1 := v1.PredictProb(probeRow)
+	wantV2 := trainFixture(t, dir, "cp-8-tree", labelV2).PredictProb(probeRow)
+	if wantV1 == wantV2 {
+		t.Fatal("fixture versions must predict differently for the probe")
+	}
+
+	// Commit with nothing staged is a protocol error.
+	if code, body := post("/reload/commit"); code != http.StatusConflict {
+		t.Fatalf("bare commit = %d (%s), want 409", code, body)
+	}
+
+	// Prepare stages v2 but v1 keeps serving until commit.
+	if code, body := post("/reload/prepare"); code != http.StatusOK {
+		t.Fatalf("prepare = %d (%s)", code, body)
+	}
+	if got := scoreOnce(); got != wantV1 {
+		t.Fatalf("risk after prepare = %v, want still-serving v1 %v", got, wantV1)
+	}
+	if code, body := post("/reload/commit"); code != http.StatusOK {
+		t.Fatalf("commit = %d (%s)", code, body)
+	}
+	if got := scoreOnce(); got != wantV2 {
+		t.Fatalf("risk after commit = %v, want v2 %v", got, wantV2)
+	}
+
+	// Abort discards a staged set: the following commit has nothing.
+	if code, body := post("/reload/prepare"); code != http.StatusOK {
+		t.Fatalf("second prepare = %d (%s)", code, body)
+	}
+	if code, body := post("/reload/abort"); code != http.StatusOK {
+		t.Fatalf("abort = %d (%s)", code, body)
+	}
+	if code, _ := post("/reload/commit"); code != http.StatusConflict {
+		t.Fatalf("commit after abort = %d, want 409", code)
+	}
+
+	// A failed prepare (emptied directory) clears any earlier staged set.
+	if code, body := post("/reload/prepare"); code != http.StatusOK {
+		t.Fatalf("third prepare = %d (%s)", code, body)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code, _ := post("/reload/prepare"); code != http.StatusInternalServerError {
+		t.Fatalf("prepare on empty dir = %d, want 500", code)
+	}
+	if code, _ := post("/reload/commit"); code != http.StatusConflict {
+		t.Fatalf("commit after failed prepare = %d, want 409 (stale staged set must not survive)", code)
+	}
+	if got := scoreOnce(); got != wantV2 {
+		t.Fatalf("risk after failed prepare = %v, want surviving v2 %v", got, wantV2)
+	}
+}

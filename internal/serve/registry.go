@@ -3,9 +3,12 @@
 // from an artifact directory, fronted by an HTTP JSON API hardened for
 // production traffic. POST /score answers bounded batches, POST
 // /score/stream scores NDJSON feeds of any length in constant memory,
-// GET /models and GET /healthz report the registry, GET /metrics exposes
-// live counters in Prometheus text format, and POST /reload hot-swaps the
-// whole model set. Loaded models are immutable, so any number of requests
+// GET /models and GET /healthz report the registry (readiness goes 503
+// while zero models are loaded, so a routing tier never sends traffic to
+// a replica that can only 404), GET /metrics exposes live counters in
+// Prometheus text format, and POST /reload hot-swaps the whole model set
+// — either one-shot, or two-phase via /reload/prepare + /reload/commit
+// for fleet-atomic rollout. Loaded models are immutable, so any number of requests
 // can score against one registry concurrently; admission control caps the
 // in-flight scoring requests and deadlines bound every read and write.
 package serve
@@ -149,14 +152,50 @@ func (r *Registry) LoadDir(dir string) ([]string, error) {
 // registry, but requests already scoring against them finish normally on
 // the model pointers they hold.
 func (r *Registry) ReloadDir(dir string) ([]string, error) {
+	staged, err := r.PrepareDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return staged.Commit(), nil
+}
+
+// Staged is a fully decoded and compiled model set that has not yet been
+// made visible — the prepare half of a two-phase rollout. Everything that
+// can fail (reading, validating, compiling the directory) happens in
+// PrepareDir; Commit is a pointer swap that cannot fail, which is what
+// lets a fleet controller prepare every replica first and only then
+// commit everywhere (see internal/router's fleet /reload).
+type Staged struct {
+	reg    *Registry
+	models map[string]*Model
+	names  []string
+}
+
+// PrepareDir decodes every *.json artifact in dir into a staged set
+// without touching the serving table. The registry keeps serving its
+// current set; the staged set becomes visible only on Commit.
+func (r *Registry) PrepareDir(dir string) (*Staged, error) {
 	models, names, err := loadModels(dir)
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	r.models = models
-	r.mu.Unlock()
-	return names, nil
+	return &Staged{reg: r, models: models, names: names}, nil
+}
+
+// Names lists the staged model names, sorted.
+func (s *Staged) Names() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Commit atomically replaces the registry's whole model set with the
+// staged one and returns the model names now serving. It is infallible:
+// all decoding already happened in PrepareDir. Requests scoring against
+// the previous set finish on the model pointers they hold.
+func (s *Staged) Commit() []string {
+	s.reg.mu.Lock()
+	s.reg.models = s.models
+	s.reg.mu.Unlock()
+	return s.Names()
 }
 
 // Get returns the named model.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"roadcrash/internal/artifact"
@@ -167,6 +168,12 @@ type Server struct {
 	// up, never below 1 (Retry-After: 0 tells clients to hammer).
 	retryAfter string
 
+	// staged holds the model set decoded by POST /reload/prepare, awaiting
+	// /reload/commit or /reload/abort — the replica half of a fleet-atomic
+	// rollout.
+	stagedMu sync.Mutex
+	staged   *Staged
+
 	metrics   *metrics.Registry
 	inFlight  *metrics.Gauge
 	requests  *metrics.CounterVec   // {endpoint, code}
@@ -210,6 +217,9 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("/score/stream", s.admit("stream", s.handleStream))
 	if s.cfg.ReloadDir != "" {
 		mux.HandleFunc("/reload", s.handleReload)
+		mux.HandleFunc("/reload/prepare", s.handleReloadPrepare)
+		mux.HandleFunc("/reload/commit", s.handleReloadCommit)
+		mux.HandleFunc("/reload/abort", s.handleReloadAbort)
 	}
 	s.mux = mux
 	return s
@@ -264,12 +274,27 @@ func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// handleHealthz reports liveness and readiness. Readiness requires at
+// least one loaded model: a replica with an empty registry can only 404
+// every scoring request, so it answers 503 with ready:false and a routing
+// tier keeps traffic away until models load. `?live=1` asks for liveness
+// only — always 200 while the process serves — so process supervisors can
+// distinguish "restart me" from "don't route to me yet".
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Len()})
+	n := s.reg.Len()
+	if req.URL.Query().Get("live") == "1" {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "live": true, "models": n})
+		return
+	}
+	if n == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no models loaded", "ready": false, "models": 0})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": true, "models": n})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
@@ -316,6 +341,68 @@ func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 	}
 	s.reloads.With("ok").Inc()
 	writeJSON(w, http.StatusOK, ReloadResponse{Models: names})
+}
+
+// handleReloadPrepare decodes the reload directory into a staged set
+// without touching the serving table — phase one of a fleet-atomic
+// rollout. A new prepare replaces any previously staged set; a failed
+// prepare clears it, so a stale set can never be committed after a newer
+// prepare was refused.
+func (s *Server) handleReloadPrepare(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	staged, err := s.reg.PrepareDir(s.cfg.ReloadDir)
+	s.stagedMu.Lock()
+	s.staged = staged // nil on error
+	s.stagedMu.Unlock()
+	if err != nil {
+		s.reloads.With("prepare_error").Inc()
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("prepare failed, nothing staged, previous model set still serving: %v", err))
+		return
+	}
+	s.reloads.With("prepared").Inc()
+	writeJSON(w, http.StatusOK, ReloadResponse{Models: staged.Names()})
+}
+
+// handleReloadCommit atomically swaps the staged set in — phase two. The
+// swap itself cannot fail; 409 means nothing was staged (no prepare, or
+// an abort/failed prepare since).
+func (s *Server) handleReloadCommit(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.stagedMu.Lock()
+	staged := s.staged
+	s.staged = nil
+	s.stagedMu.Unlock()
+	if staged == nil {
+		writeError(w, http.StatusConflict, "no prepared model set to commit (POST /reload/prepare first)")
+		return
+	}
+	names := staged.Commit()
+	s.reloads.With("ok").Inc()
+	writeJSON(w, http.StatusOK, ReloadResponse{Models: names})
+}
+
+// handleReloadAbort drops any staged set, keeping the serving table
+// untouched. Idempotent: aborting with nothing staged is a 200 no-op, so
+// a fleet controller can abort every replica without tracking which ones
+// prepared successfully.
+func (s *Server) handleReloadAbort(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.stagedMu.Lock()
+	had := s.staged != nil
+	s.staged = nil
+	s.stagedMu.Unlock()
+	s.reloads.With("aborted").Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"aborted": had})
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, req *http.Request) {
