@@ -227,9 +227,15 @@ func Score(model Scorer, rows [][]float64) []float64 {
 // signals a malformed model payload that slipped through validation.
 func Finite(scores []float64) bool {
 	for _, s := range scores {
-		if math.IsNaN(s) || math.IsInf(s, 0) {
+		if !IsFinite(s) {
 			return false
 		}
 	}
 	return true
+}
+
+// IsFinite is the scalar form of Finite, for hot loops that check one
+// score at a time without building a slice around it.
+func IsFinite(s float64) bool {
+	return !math.IsNaN(s) && !math.IsInf(s, 0)
 }

@@ -268,60 +268,121 @@ func (s *lineScanner) scanLiteral(word string) error {
 	}
 	s.pos += len(word)
 	if s.pos < len(s.buf) {
-		if c := s.buf[s.pos]; c != ',' && c != '}' && c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+		if c := s.buf[s.pos]; c != ',' && c != '}' && c != ']' && c != ' ' && c != '\t' && c != '\n' && c != '\r' {
 			return fmt.Errorf("unexpected character %q after %q at offset %d", c, word, s.pos)
 		}
 	}
 	return nil
 }
 
-// parseLine decodes one NDJSON object into rowBuf (schema order, absent
-// keys missing), scanning the line left to right. Keys are resolved in
-// document order, so unknown attributes and — unlike a decode through a
-// Go map — duplicate keys within one row are rejected with the offending
-// name.
-func (r *NDJSONBatchReader) parseLine(line []byte) error {
-	for j := range r.rowBuf {
-		r.rowBuf[j] = Missing
+// rowDecoder is the schema-directed object decoder shared by the NDJSON
+// feed reader and the /score request parser: it owns a private copy of the
+// schema, the name and nominal-level indexes over it, and the reusable
+// row buffer one {...} object decodes into. Duplicate keys within one
+// object are rejected via per-column generation marks, so a decode never
+// silently resolves {"aadt":1,"aadt":9} last-wins the way a Go map would.
+type rowDecoder struct {
+	attrs      []Attribute
+	byName     map[string]int
+	levelIndex []map[string]int
+	rowBuf     []float64
+	seen       []int // per-column generation marks for duplicate-key checks
+	gen        int
+}
+
+// newRowDecoder deep-copies the schema and builds the decoding indexes.
+// Nominal level sets grow as new level names appear in the data; the
+// caller's attrs are never mutated.
+func newRowDecoder(attrs []Attribute) *rowDecoder {
+	copied := make([]Attribute, len(attrs))
+	byName := make(map[string]int, len(attrs))
+	levelIndex := make([]map[string]int, len(attrs))
+	for j, a := range attrs {
+		copied[j] = Attribute{Name: a.Name, Kind: a.Kind, Levels: append([]string(nil), a.Levels...)}
+		byName[a.Name] = j
+		if a.Kind == Nominal {
+			idx := make(map[string]int, len(a.Levels))
+			for l, name := range a.Levels {
+				idx[name] = l
+			}
+			levelIndex[j] = idx
+		}
 	}
-	r.gen++
-	s := lineScanner{buf: line}
+	return &rowDecoder{
+		attrs:      copied,
+		byName:     byName,
+		levelIndex: levelIndex,
+		rowBuf:     make([]float64, len(copied)),
+		seen:       make([]int, len(copied)),
+	}
+}
+
+// missingRow fills rowBuf with missing markers and returns it — the decode
+// of an explicit null row.
+func (d *rowDecoder) missingRow() []float64 {
+	for j := range d.rowBuf {
+		d.rowBuf[j] = Missing
+	}
+	return d.rowBuf
+}
+
+// parseObject decodes one {...} object from the scanner into rowBuf
+// (schema order, absent keys missing), scanning left to right. Keys are
+// resolved in document order, so unknown attributes and duplicate keys
+// within one object are rejected with the offending name. The scanner is
+// left just past the closing '}'; trailing-data policy is the caller's.
+func (d *rowDecoder) parseObject(s *lineScanner) error {
+	for j := range d.rowBuf {
+		d.rowBuf[j] = Missing
+	}
+	d.gen++
 	s.skipSpace()
 	if !s.eat('{') {
-		return fmt.Errorf("data: NDJSON row %d: %v", r.row, s.syntaxErr("'{'"))
+		return s.syntaxErr("'{'")
 	}
 	s.skipSpace()
-	if !s.eat('}') {
-		for {
-			key, err := s.scanString()
-			if err != nil {
-				return fmt.Errorf("data: NDJSON row %d: %v", r.row, err)
-			}
-			j, ok := r.byName[string(key)]
-			if !ok {
-				return fmt.Errorf("data: NDJSON row %d: unknown attribute %q", r.row, key)
-			}
-			if r.seen[j] == r.gen {
-				return fmt.Errorf("data: NDJSON row %d: duplicate attribute %q", r.row, key)
-			}
-			r.seen[j] = r.gen
-			s.skipSpace()
-			if !s.eat(':') {
-				return fmt.Errorf("data: NDJSON row %d: %v", r.row, s.syntaxErr("':'"))
-			}
-			if err := r.scanValue(&s, j); err != nil {
-				return fmt.Errorf("data: NDJSON row %d: %v", r.row, err)
-			}
-			s.skipSpace()
-			if s.eat(',') {
-				s.skipSpace()
-				continue
-			}
-			if s.eat('}') {
-				break
-			}
-			return fmt.Errorf("data: NDJSON row %d: %v", r.row, s.syntaxErr("',' or '}'"))
+	if s.eat('}') {
+		return nil
+	}
+	for {
+		key, err := s.scanString()
+		if err != nil {
+			return err
 		}
+		j, ok := d.byName[string(key)]
+		if !ok {
+			return fmt.Errorf("unknown attribute %q", key)
+		}
+		if d.seen[j] == d.gen {
+			return fmt.Errorf("duplicate attribute %q", key)
+		}
+		d.seen[j] = d.gen
+		s.skipSpace()
+		if !s.eat(':') {
+			return s.syntaxErr("':'")
+		}
+		if err := d.scanValue(s, j); err != nil {
+			return err
+		}
+		s.skipSpace()
+		if s.eat(',') {
+			s.skipSpace()
+			continue
+		}
+		if s.eat('}') {
+			return nil
+		}
+		return s.syntaxErr("',' or '}'")
+	}
+}
+
+// parseLine decodes one NDJSON object into rowBuf via the shared row
+// decoder, enforcing the line rule that nothing but whitespace may follow
+// the object.
+func (r *NDJSONBatchReader) parseLine(line []byte) error {
+	s := lineScanner{buf: line}
+	if err := r.dec.parseObject(&s); err != nil {
+		return fmt.Errorf("data: NDJSON row %d: %v", r.row, err)
 	}
 	s.skipSpace()
 	if s.pos != len(s.buf) {
@@ -336,9 +397,9 @@ func (r *NDJSONBatchReader) parseLine(line []byte) error {
 // (or a parsable numeric string), level names for nominal attributes
 // (unseen names are interned as new levels), and 0/1, true/false or the
 // strings "0"/"1"/"true"/"false"/"yes"/"no" for binary attributes.
-func (r *NDJSONBatchReader) scanValue(s *lineScanner, j int) error {
+func (d *rowDecoder) scanValue(s *lineScanner, j int) error {
 	s.skipSpace()
-	at := &r.attrs[j]
+	at := &d.attrs[j]
 	if s.pos >= len(s.buf) {
 		return s.syntaxErr("a value")
 	}
@@ -350,25 +411,25 @@ func (r *NDJSONBatchReader) scanValue(s *lineScanner, j int) error {
 		}
 		switch at.Kind {
 		case Nominal:
-			idx, ok := r.levelIndex[j][string(raw)]
+			idx, ok := d.levelIndex[j][string(raw)]
 			if !ok {
 				idx = len(at.Levels)
 				at.Levels = append(at.Levels, string(raw))
-				r.levelIndex[j][string(raw)] = idx
+				d.levelIndex[j][string(raw)] = idx
 			}
-			r.rowBuf[j] = float64(idx)
+			d.rowBuf[j] = float64(idx)
 		case Binary:
 			v, err := parseBinaryWord(raw)
 			if err != nil {
 				return fmt.Errorf("binary attribute %q got %q", at.Name, raw)
 			}
-			r.rowBuf[j] = v
+			d.rowBuf[j] = v
 		default:
 			f, err := strconv.ParseFloat(string(raw), 64)
 			if err != nil {
 				return fmt.Errorf("interval attribute %q got %q", at.Name, raw)
 			}
-			r.rowBuf[j] = f
+			d.rowBuf[j] = f
 		}
 	case c == '-' || (c >= '0' && c <= '9'):
 		v, err := s.scanNumber()
@@ -383,7 +444,7 @@ func (r *NDJSONBatchReader) scanValue(s *lineScanner, j int) error {
 				return fmt.Errorf("binary attribute %q got %v", at.Name, v)
 			}
 		}
-		r.rowBuf[j] = v
+		d.rowBuf[j] = v
 	case c == 't' || c == 'f':
 		word := "true"
 		v := 1.0
@@ -396,7 +457,7 @@ func (r *NDJSONBatchReader) scanValue(s *lineScanner, j int) error {
 		if at.Kind != Binary {
 			return fmt.Errorf("attribute %q is %s, got a boolean", at.Name, at.Kind)
 		}
-		r.rowBuf[j] = v
+		d.rowBuf[j] = v
 	case c == 'n':
 		return s.scanLiteral("null") // missing: rowBuf keeps its marker
 	case c == '{':

@@ -1,0 +1,156 @@
+package data
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzScoreRequest drives the hand-rolled /score request parser with
+// arbitrary bodies against the same every-kind schema as
+// FuzzNDJSONBatchReader. The contract: the parser never panics (it parses
+// or rejects cleanly — duplicate keys, trailing data and over-deep
+// nesting are rejections, not crashes); an accepted request survives a
+// re-encode -> re-parse round-trip with the model name, batch shape and
+// every cell intact; and neither the caller's schema nor the interned
+// level set is disturbed by re-parsing the parser's own output.
+func FuzzScoreRequest(f *testing.F) {
+	seeds := []string{
+		// Well-formed requests: every kind, omitted keys, nulls, numeric
+		// strings, string booleans, fresh nominal levels, null segments.
+		`{"model":"m","segments":[{"x":1.5,"s":"a","flag":true},{"x":null,"s":"c"},{}]}`,
+		`{"model":"m","segments":[{"x":"3.25","flag":"yes"},{"flag":"0"}]}`,
+		`{"model":"m","segments":[{"x":"NaN"},{"x":"Inf"},{"x":1e308},{"x":-0}]}`,
+		`{"model":"m","segments":[{"s":"?"},{"s":""},{"s":"li\"ne"},null]}`,
+		`{"segments":[{"x":9}],"model":"m"}`,
+		"\n {\"model\" : \"m\" ,\n\t\"segments\" : [ { \"x\" : 2e1 } ] } \n",
+		// Rejects: structural problems, semantic problems, empty batches.
+		`{}`,
+		`{"model":""}`,
+		`{"model":null,"segments":[{"x":1}]}`,
+		`{"model":"m","segments":[]}`,
+		`{"model":"m","segments":null}`,
+		`{"model":"m","segments":[5]}`,
+		`{"model":"m","segments":{"x":1}}`,
+		`{"model":"m","segments":[{"typo":1}]}`,
+		`{"model":"m","segments":[{"s":3}]}`,
+		`{"model":"m","segments":[{"flag":2}]}`,
+		`{"model":"m","segments":[{"x":{"nested":[1,{"deep":true}]}}]}`,
+		`{not json`,
+		// Duplicate keys at both levels; trailing data; unknown fields.
+		`{"model":"m","model":"m2","segments":[{"x":1}]}`,
+		`{"model":"m","segments":[],"segments":[{"x":1}]}`,
+		`{"model":"m","segments":[{"x":1,"x":2}]}`,
+		`{"model":"m","segments":[{"x":1}]} extra`,
+		`{"model":"m","segments":[{"x":1}]}{"model":"m"}`,
+		`{"wat":1,"model":"m"}`,
+		// Over the fuzz segment limit; deep garbage.
+		`{"model":"m","segments":[{},{},{},{},{},{},{},{},{},{}]}`,
+		`{"model":"m","segments":[{"x":[[[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]]]}]}`,
+		// Escapes in the model name and level names.
+		`{"model":"😀","segments":[{"s":"\ud800"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := []Attribute{
+		{Name: "x", Kind: Interval},
+		{Name: "s", Kind: Nominal, Levels: []string{"a", "b"}},
+		{Name: "flag", Kind: Binary},
+	}
+	const maxSegments = 8
+	f.Fuzz(func(t *testing.T, in string) {
+		p := NewScoreRequestParser(schema)
+		resolve := func(string) (*ScoreRequestParser, error) { return p, nil }
+		model, b, err := ParseScoreRequest([]byte(in), maxSegments, resolve)
+		// The caller's schema must never be mutated by level growth.
+		if len(schema[1].Levels) != 2 {
+			t.Fatalf("parser mutated the caller's schema: %v", schema[1].Levels)
+		}
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		if model == "" || !utf8.ValidString(model) {
+			t.Fatalf("accepted model %q", model)
+		}
+		if b.Len() < 1 || b.Len() > maxSegments {
+			t.Fatalf("accepted batch of %d rows with limit %d", b.Len(), maxSegments)
+		}
+		attrs := b.Attrs()
+		rows := make([][]float64, b.Len())
+		for i := range rows {
+			rows[i] = make([]float64, len(attrs))
+			for j := range attrs {
+				rows[i][j] = b.At(i, j)
+			}
+		}
+		interned := p.InternedLevels()
+
+		// Re-encode the decoded batch as a canonical request body and
+		// re-parse it with the same parser: the level set is already
+		// interned, so shape, model and every cell must come back exactly.
+		body := append([]byte(`{"model":`), AppendJSONString(nil, model)...)
+		body = append(body, `,"segments":[`...)
+		for i, row := range rows {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			body = append(body, '{')
+			first := true
+			for j, v := range row {
+				if IsMissing(v) {
+					continue
+				}
+				if !first {
+					body = append(body, ',')
+				}
+				first = false
+				body = append(body, AppendJSONString(nil, attrs[j].Name)...)
+				body = append(body, ':')
+				switch attrs[j].Kind {
+				case Nominal:
+					body = append(body, AppendJSONString(nil, attrs[j].Levels[int(v)])...)
+				case Binary:
+					if v == 1 {
+						body = append(body, `true`...)
+					} else {
+						body = append(body, `false`...)
+					}
+				default:
+					if math.IsInf(v, 0) {
+						// Infinities only arrive as quoted numbers and must
+						// leave the same way — bare Inf is not JSON.
+						body = strconv.AppendQuote(body, strconv.FormatFloat(v, 'g', -1, 64))
+					} else {
+						body = strconv.AppendFloat(body, v, 'g', -1, 64)
+					}
+				}
+			}
+			body = append(body, '}')
+		}
+		body = append(body, `]}`...)
+
+		model2, b2, err := ParseScoreRequest(body, maxSegments, resolve)
+		if err != nil {
+			t.Fatalf("round-trip rejected its own output: %v\ninput: %q\nwritten: %q", err, in, body)
+		}
+		if model2 != model {
+			t.Fatalf("model %q -> %q", model, model2)
+		}
+		if b2.Len() != len(rows) {
+			t.Fatalf("round-trip shape %d rows, want %d", b2.Len(), len(rows))
+		}
+		if p.InternedLevels() != interned {
+			t.Fatalf("round-trip grew the level set %d -> %d", interned, p.InternedLevels())
+		}
+		for i, row := range rows {
+			for j, v := range row {
+				w := b2.At(i, j)
+				if IsMissing(v) != IsMissing(w) || (!IsMissing(v) && v != w) {
+					t.Fatalf("cell (%d,%d) %v -> %v\ninput: %q\nwritten: %q", i, j, v, w, in, body)
+				}
+			}
+		}
+	})
+}

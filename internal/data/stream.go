@@ -277,16 +277,11 @@ const maxNDJSONLine = 1 << 20
 // are skipped. Rows are parsed by the hand-rolled scanner in ndjson.go,
 // which allocates nothing per row in steady state.
 type NDJSONBatchReader struct {
-	sc         *bufio.Scanner
-	attrs      []Attribute
-	byName     map[string]int
-	levelIndex []map[string]int
-	batch      *Batch
-	rowBuf     []float64
-	seen       []int // per-column generation marks for duplicate-key checks
-	gen        int
-	row        int
-	done       bool
+	sc    *bufio.Scanner
+	dec   *rowDecoder
+	batch *Batch
+	row   int
+	done  bool
 }
 
 // NewNDJSONBatchReader prepares a reader over r emitting batches of up to
@@ -294,35 +289,18 @@ type NDJSONBatchReader struct {
 // The schema is deep-copied; nominal level sets grow as new level names
 // appear in the data.
 func NewNDJSONBatchReader(r io.Reader, attrs []Attribute, chunk int) *NDJSONBatchReader {
-	copied := make([]Attribute, len(attrs))
-	byName := make(map[string]int, len(attrs))
-	levelIndex := make([]map[string]int, len(attrs))
-	for j, a := range attrs {
-		copied[j] = Attribute{Name: a.Name, Kind: a.Kind, Levels: append([]string(nil), a.Levels...)}
-		byName[a.Name] = j
-		if a.Kind == Nominal {
-			idx := make(map[string]int, len(a.Levels))
-			for l, name := range a.Levels {
-				idx[name] = l
-			}
-			levelIndex[j] = idx
-		}
-	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), maxNDJSONLine)
+	dec := newRowDecoder(attrs)
 	return &NDJSONBatchReader{
-		sc:         sc,
-		attrs:      copied,
-		byName:     byName,
-		levelIndex: levelIndex,
-		batch:      NewBatch(copied, chunk),
-		rowBuf:     make([]float64, len(copied)),
-		seen:       make([]int, len(copied)),
+		sc:    sc,
+		dec:   dec,
+		batch: NewBatch(dec.attrs, chunk),
 	}
 }
 
 // Attrs returns the reader's schema (the copy it owns).
-func (r *NDJSONBatchReader) Attrs() []Attribute { return r.attrs }
+func (r *NDJSONBatchReader) Attrs() []Attribute { return r.dec.attrs }
 
 // Next fills the reader's batch with up to its chunk size of rows.
 func (r *NDJSONBatchReader) Next() (*Batch, error) {
@@ -343,7 +321,7 @@ func (r *NDJSONBatchReader) Next() (*Batch, error) {
 		if err := r.parseLine(line); err != nil {
 			return nil, err
 		}
-		b.AppendRow(r.rowBuf)
+		b.AppendRow(r.dec.rowBuf)
 		r.row++
 		if len(b.cols) == 0 {
 			break

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"testing/iotest"
 	"time"
 
 	"roadcrash/internal/artifact"
@@ -77,15 +78,23 @@ func TestRunMixed(t *testing.T) {
 			t.Fatalf("%s: malformed latency summary %+v", name, l)
 		}
 	}
-	// Batch requests carry exactly BatchRows rows each.
-	if got := rep.Batch.RowsScored % 32; got != 0 {
-		t.Fatalf("batch rows %d not a multiple of the request size", rep.Batch.RowsScored)
+	// Every request carries exactly the configured row count, and every
+	// request succeeded — so the counts must match exactly. (Equality,
+	// not divisibility: a counter that double-counts rows per request
+	// still passes a multiple-of check.)
+	if want := 32 * int64(rep.Batch.Requests); rep.Batch.RowsScored != want {
+		t.Fatalf("batch rows %d, want %d (32 per request over %d requests)", rep.Batch.RowsScored, want, rep.Batch.Requests)
 	}
-	if rep.Stream.RowsScored%64 != 0 {
-		t.Fatalf("stream rows %d not a multiple of the request size", rep.Stream.RowsScored)
+	if want := 64 * int64(rep.Stream.Requests); rep.Stream.RowsScored != want {
+		t.Fatalf("stream rows %d, want %d (64 per request over %d requests)", rep.Stream.RowsScored, want, rep.Stream.Requests)
 	}
 	if rep.TotalRows != rep.Batch.RowsScored+rep.Stream.RowsScored {
 		t.Fatalf("total rows %d != %d + %d", rep.TotalRows, rep.Batch.RowsScored, rep.Stream.RowsScored)
+	}
+	// A mixed run with traffic on both endpoints reports the stream/batch
+	// throughput ratio (the batch fast path's benchmark number).
+	if want := rep.Stream.RowsPerSecond / rep.Batch.RowsPerSecond; rep.StreamToBatchRatio != want {
+		t.Fatalf("stream/batch ratio %v, want %v", rep.StreamToBatchRatio, want)
 	}
 }
 
@@ -376,5 +385,49 @@ func TestRetryAfterHint(t *testing.T) {
 		if got := retryAfterHint(mk(tc.code, tc.hdr)); got != tc.want {
 			t.Errorf("retryAfterHint(%d, %q) = %v, want %v", tc.code, tc.hdr, got, tc.want)
 		}
+	}
+}
+
+// TestCountScores pins the scan-based score counter the batch client
+// uses instead of a JSON decode: one "risk" key per score object before
+// the closing bracket, and anything without a scores array reads as
+// truncated (-1).
+func TestCountScores(t *testing.T) {
+	for _, tc := range []struct {
+		resp string
+		want int
+	}{
+		{`{"model":"m","kind":"tree","scores":[{"risk":0.25,"crash_prone":false}]}` + "\n", 1},
+		{`{"model":"m","kind":"tree","scores":[{"risk":0.25,"crash_prone":false},{"risk":0.75,"crash_prone":true},{"risk":1e-09,"crash_prone":false}]}` + "\n", 3},
+		{`{"model":"m","kind":"tree","scores":[]}`, 0},
+		{`{"error":"boom"}`, -1},
+		{``, -1},
+		{`{"model":"m","scores":[{"risk":0.25,"crash_prone":false}`, -1},
+	} {
+		if got := countScores([]byte(tc.resp)); got != tc.want {
+			t.Errorf("countScores(%q) = %d, want %d", tc.resp, got, tc.want)
+		}
+	}
+}
+
+// TestReadAll checks the buffer-reusing body reader: it must return the
+// full stream, reuse capacity when the buffer is big enough, and
+// propagate non-EOF errors.
+func TestReadAll(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	got, err := readAll(strings.NewReader("hello world"), buf)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("readAll = %q, %v", got, err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("readAll did not reuse the caller's buffer")
+	}
+	big := strings.Repeat("x", 10_000)
+	got, err = readAll(strings.NewReader(big), got[:0])
+	if err != nil || string(got) != big {
+		t.Fatalf("readAll grow: len %d, err %v", len(got), err)
+	}
+	if _, err := readAll(io.MultiReader(strings.NewReader("partial"), iotest.ErrReader(io.ErrUnexpectedEOF)), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("readAll error passthrough = %v", err)
 	}
 }

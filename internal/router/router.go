@@ -391,18 +391,38 @@ func (rt *Router) backoffDelay(retry int, retryAfter time.Duration) time.Duratio
 	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
-// parseRetryAfter reads a Retry-After header as delay seconds; zero means
-// absent or unparseable (HTTP-date forms are ignored — the serve tier
-// always sends delta-seconds).
+// parseRetryAfter reads a Retry-After header in both RFC 9110 forms —
+// delta-seconds and HTTP-date — as a delay from now; zero means absent,
+// unparseable, or a date already in the past. The serve tier sends
+// delta-seconds, but a proxy or load balancer fronting a replica may
+// rewrite the header to a date, and before this the router silently
+// dropped those hints and fell back to exponential backoff.
 func parseRetryAfter(h string) time.Duration {
+	return parseRetryAfterAt(h, time.Now())
+}
+
+// parseRetryAfterAt is parseRetryAfter against an explicit clock, so the
+// HTTP-date arithmetic is unit-testable.
+func parseRetryAfterAt(h string, now time.Time) time.Duration {
+	h = strings.TrimSpace(h)
 	if h == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(h))
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(h)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := when.Sub(now)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {

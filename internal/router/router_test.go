@@ -574,3 +574,41 @@ func TestRouterFleetReload(t *testing.T) {
 func writeCorruptArtifact(path string) error {
 	return os.WriteFile(path, []byte(`{"name":"cp-8-tree","kind":"nonsense"}`), 0o644)
 }
+
+// TestParseRetryAfter covers both RFC 9110 Retry-After forms. The router
+// only sees delta-seconds from the serve tier directly, but proxies in
+// front of a replica may rewrite the header to an HTTP-date; both must
+// yield a usable delay, and garbage or past dates must fall back to zero
+// (meaning "no hint, use exponential backoff").
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2011, time.March, 22, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{" 7 ", 7 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"2.5", 0},  // RFC allows integers only
+		{"soon", 0}, // garbage
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Format(http.TimeFormat), 0},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0}, // past date: no hint
+		// The two legacy date formats http.ParseTime accepts.
+		{now.Add(30 * time.Second).Format(time.RFC850), 30 * time.Second},
+		{now.Add(30 * time.Second).Format(time.ANSIC), 30 * time.Second},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfterAt(c.header, now); got != c.want {
+			t.Errorf("parseRetryAfterAt(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+	// The production entry point uses the real clock: a far-future date
+	// must come back close to its distance from now.
+	far := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(far); got < 58*time.Minute || got > time.Hour {
+		t.Errorf("parseRetryAfter(%q) = %v, want about an hour", far, got)
+	}
+}

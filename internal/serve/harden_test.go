@@ -291,6 +291,52 @@ func TestScoreRequestTimeout(t *testing.T) {
 	}
 }
 
+// TestScoreBodyLimit413 pins the oversized-body conformance fix: a /score
+// body past MaxBodyBytes answers 413 Request Entity Too Large — not a
+// generic 400 — and the error names the configured limit so a client can
+// tell a size problem from a syntax problem.
+func TestScoreBodyLimit413(t *testing.T) {
+	dir := t.TempDir()
+	trainFixture(t, dir, "cp-8-tree", labelV1)
+	reg := NewRegistry()
+	if _, err := reg.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(reg, Config{MaxBodyBytes: 1024}))
+	defer srv.Close()
+
+	// Valid JSON, just too big: padding inside a string value pushes the
+	// body past the limit, so only the size check can reject it.
+	big := `{"model":"cp-8-tree","segments":[{"surface":"` + strings.Repeat("x", 2048) + `"}]}`
+	resp, err := http.Post(srv.URL+"/score", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("error body %q not a JSON error", body)
+	}
+	if !strings.Contains(er.Error, "1024-byte limit") {
+		t.Fatalf("error %q does not name the limit", er.Error)
+	}
+
+	// A request under the same limit still scores.
+	ok, err := http.Post(srv.URL+"/score", "application/json",
+		strings.NewReader(`{"model":"cp-8-tree","segments":[{"aadt":1200}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("small request status = %d, want 200", ok.StatusCode)
+	}
+}
+
 // TestStreamStalledSenderTimeout pins the per-chunk deadline of
 // /score/stream: a sender that stops mid-stream is cut off within about
 // StreamTimeout, and the response never carries a done trailer.

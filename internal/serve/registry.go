@@ -34,6 +34,15 @@ type Model struct {
 	Artifact *artifact.Artifact
 	Scorer   artifact.Scorer
 	Mapper   *artifact.RowMapper
+
+	// statePool recycles /score request state (parser + batch scorer, see
+	// fastpath.go) across requests for this model; schemaLevels is the
+	// training schema's nominal level count, the baseline for the pool's
+	// bloat cutoff. A Model is always handled by pointer, so pooled state
+	// never outlives a registry swap — dropped models take their pools
+	// with them.
+	statePool    sync.Pool
+	schemaLevels int
 }
 
 // buildModel decodes an artifact's learner, compiles it and builds its
@@ -47,7 +56,11 @@ func buildModel(a *artifact.Artifact) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{Artifact: a, Scorer: artifact.Compile(scorer), Mapper: mapper}, nil
+	levels := 0
+	for _, at := range mapper.Attrs() {
+		levels += len(at.Levels)
+	}
+	return &Model{Artifact: a, Scorer: artifact.Compile(scorer), Mapper: mapper, schemaLevels: levels}, nil
 }
 
 // Registry is a concurrent-safe name -> model table. Mutations swap

@@ -19,7 +19,7 @@ import (
 
 // fixture trains a small decision tree, persists it to dir and returns
 // the artifact plus its in-process model for score comparison.
-func fixture(t *testing.T, dir string) (*artifact.Artifact, *tree.Tree) {
+func fixture(t testing.TB, dir string) (*artifact.Artifact, *tree.Tree) {
 	t.Helper()
 	r := rng.New(21)
 	b := data.NewBuilder("net").

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -425,49 +426,94 @@ func (s *Server) handleScore(w http.ResponseWriter, req *http.Request) {
 		rc.SetWriteDeadline(time.Time{})
 	}()
 
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	var sr ScoreRequest
-	if err := dec.Decode(&sr); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
-		return
-	}
-	if sr.Model == "" {
-		writeError(w, http.StatusBadRequest, "missing model name")
-		return
-	}
-	if len(sr.Segments) == 0 {
-		writeError(w, http.StatusBadRequest, "no segments to score")
-		return
-	}
-	if len(sr.Segments) > MaxBatch {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-segment limit", len(sr.Segments), MaxBatch))
-		return
-	}
-	m, ok := s.reg.Get(sr.Model)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", sr.Model))
-		return
-	}
-	s.modelReqs.With(sr.Model, "score").Inc()
-	resp := ScoreResponse{Model: sr.Model, Kind: m.Artifact.Kind, Scores: make([]SegmentScore, len(sr.Segments))}
-	for i, seg := range sr.Segments {
-		row, err := m.Mapper.MapValues(seg)
-		if err != nil {
-			s.errors.With(sr.Model, "score").Inc()
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("segment %d: %v", i, err))
-			return
+	// The fast path: the body is read whole into a pooled buffer, parsed by
+	// the hand-rolled ScoreRequest parser straight into a columnar batch
+	// (no map[string]any, no reflection), scored in one columnar
+	// ScoreColumns call and rendered by an append-based encoder whose
+	// bytes match what json.Encoder produced here before (pinned by the
+	// differential suite in fastpath_test.go).
+	bufs := scoreBufPool.Get().(*scoreBufs)
+	defer putScoreBufs(bufs)
+	body, err := readBody(w, req, s.cfg.MaxBodyBytes, bufs.body)
+	bufs.body = body
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
 		}
-		risk := m.Scorer.PredictProb(row)
-		if !artifact.Finite([]float64{risk}) {
-			s.errors.With(sr.Model, "score").Inc()
+		return
+	}
+
+	var m *Model
+	var st *scoreState
+	model, batch, err := data.ParseScoreRequest(body, MaxBatch, func(name string) (*data.ScoreRequestParser, error) {
+		mm, ok := s.reg.Get(name)
+		if !ok {
+			return nil, unknownModelError(name)
+		}
+		m = mm
+		st = mm.scoreState()
+		return st.parser, nil
+	})
+	if st != nil {
+		// The batch and its scores live in the pooled state; the response
+		// is fully written before the handler returns, so the deferred put
+		// cannot release them early.
+		defer m.putScoreState(st)
+	}
+	if err != nil {
+		var (
+			limitErr *data.BatchLimitError
+			segErr   *data.SegmentError
+			unknown  unknownModelError
+		)
+		switch {
+		case errors.Is(err, data.ErrMissingModel):
+			writeError(w, http.StatusBadRequest, "missing model name")
+		case errors.Is(err, data.ErrNoSegments):
+			writeError(w, http.StatusBadRequest, "no segments to score")
+		case errors.As(err, &limitErr):
+			writeError(w, http.StatusBadRequest, limitErr.Error())
+		case errors.As(err, &unknown):
+			writeError(w, http.StatusNotFound, unknown.Error())
+		case errors.As(err, &segErr):
+			// The model resolved and the batch passed the count checks, so
+			// this request reached the model exactly as a MapValues failure
+			// did on the old path: counted for the model, counted as its
+			// error.
+			s.modelReqs.With(model, "score").Inc()
+			s.errors.With(model, "score").Inc()
+			writeError(w, http.StatusBadRequest, segErr.Error())
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		}
+		return
+	}
+
+	s.modelReqs.With(model, "score").Inc()
+	scores, err := st.bs.ScoreBatch(batch)
+	if err != nil {
+		// Unreachable with a parser-produced batch — kinds and binary
+		// values are validated at parse time — kept as defense in depth.
+		s.errors.With(model, "score").Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	for i, risk := range scores {
+		if !artifact.IsFinite(risk) {
+			s.errors.With(model, "score").Inc()
 			writeError(w, http.StatusInternalServerError, fmt.Sprintf("segment %d: model produced a non-finite score", i))
 			return
 		}
-		resp.Scores[i] = SegmentScore{Risk: risk, CrashProne: risk >= 0.5}
 	}
-	s.rows.With(sr.Model).Add(uint64(len(sr.Segments)))
-	writeJSON(w, http.StatusOK, resp)
+	s.rows.With(model).Add(uint64(len(scores)))
+	bufs.resp = appendScoreResponse(bufs.resp[:0], model, m.Artifact.Kind, scores)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(bufs.resp)
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
