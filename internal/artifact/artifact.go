@@ -25,12 +25,18 @@ import (
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/m5"
+	"roadcrash/internal/mining/neural"
 	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/mining/zinb"
 )
 
-// FormatVersion is the current artifact format. Decoders accept exactly
-// this version; bump it on any incompatible change to the layout.
-const FormatVersion = 1
+// FormatVersion is the current artifact format. Encoders write this
+// version; decoders accept every version from 1 up to it (the layout has
+// only grown — version 2 added the zinb, m5 and neural kinds, which a
+// version-1 artifact therefore cannot carry). Bump it on any change to the
+// layout.
+const FormatVersion = 2
 
 // Kind names the learner family a payload belongs to.
 type Kind string
@@ -43,14 +49,29 @@ const (
 	KindLogistic       Kind = "logistic"        // logistic regression
 	KindBagging        Kind = "bagging"         // bagged decision trees
 	KindAdaBoost       Kind = "adaboost"        // boosted decision stumps/trees
+	KindZINB           Kind = "zinb"            // zero-altered Poisson hurdle, scored as P(count > t)
+	KindM5             Kind = "m5"              // M5 model tree with per-leaf ridge regressions
+	KindNeural         Kind = "neural"          // single hidden-layer perceptron
 )
 
 func (k Kind) valid() bool {
 	switch k {
-	case KindDecisionTree, KindRegressionTree, KindNaiveBayes, KindLogistic, KindBagging, KindAdaBoost:
+	case KindDecisionTree, KindRegressionTree, KindNaiveBayes, KindLogistic, KindBagging, KindAdaBoost,
+		KindZINB, KindM5, KindNeural:
 		return true
 	}
 	return false
+}
+
+// minVersion returns the first format version able to carry the kind: the
+// count/regression learners arrived with version 2, so a version-1
+// artifact claiming one is corrupt by construction.
+func (k Kind) minVersion() int {
+	switch k {
+	case KindZINB, KindM5, KindNeural:
+		return 2
+	}
+	return 1
 }
 
 // Attr is one column of the training schema.
@@ -186,6 +207,40 @@ func (a *Artifact) Model() (Scorer, error) {
 			return nil, err
 		}
 		s = m
+	case KindZINB:
+		c := new(zinb.ThresholdClassifier)
+		if err := json.Unmarshal(a.Payload, c); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		if err := c.Validate(len(a.Schema)); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		if c.Threshold() != a.Threshold {
+			return nil, fmt.Errorf("artifact %q: payload classifies count > %d, header threshold is %d",
+				a.Name, c.Threshold(), a.Threshold)
+		}
+		s = *c
+	case KindM5:
+		m := new(m5.Model)
+		if err := json.Unmarshal(a.Payload, m); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		if err := m.Validate(len(a.Schema)); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		if err := a.checkTreeSchema(m.Structure()); err != nil {
+			return nil, err
+		}
+		s = m
+	case KindNeural:
+		m := new(neural.Model)
+		if err := json.Unmarshal(a.Payload, m); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		if err := m.Validate(len(a.Schema)); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		s = m
 	default:
 		return nil, fmt.Errorf("artifact %q: unknown kind %q", a.Name, a.Kind)
 	}
@@ -230,14 +285,18 @@ func (a *Artifact) checkTreeSchemas(trees []*tree.Tree) error {
 }
 
 func (a *Artifact) validate() error {
-	if a.FormatVersion != FormatVersion {
-		return fmt.Errorf("artifact: format version %d, this build reads %d", a.FormatVersion, FormatVersion)
+	if a.FormatVersion < 1 || a.FormatVersion > FormatVersion {
+		return fmt.Errorf("artifact: format version %d, this build reads 1 through %d", a.FormatVersion, FormatVersion)
 	}
 	if a.Name == "" {
 		return fmt.Errorf("artifact: empty model name")
 	}
 	if !a.Kind.valid() {
 		return fmt.Errorf("artifact: unknown kind %q", a.Kind)
+	}
+	if a.FormatVersion < a.Kind.minVersion() {
+		return fmt.Errorf("artifact: kind %q needs format version %d, artifact says %d",
+			a.Kind, a.Kind.minVersion(), a.FormatVersion)
 	}
 	if a.Target == "" {
 		return fmt.Errorf("artifact: empty target attribute")

@@ -10,14 +10,19 @@ import (
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/m5"
+	"roadcrash/internal/mining/neural"
 	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/mining/zinb"
 	"roadcrash/internal/rng"
 )
 
 // synthDataset builds a small mixed-kind dataset with a learnable signal
 // and sprinkled missing values: positive when x1 + noise clears a cut,
-// modulated by the nominal surface.
-func synthDataset(t *testing.T, n int, seed uint64) *data.Dataset {
+// modulated by the nominal surface. crash_count is the same signal as a
+// count — zero below the cut, growing with the score above it — so the
+// hurdle learner has both components to fit.
+func synthDataset(t testing.TB, n int, seed uint64) *data.Dataset {
 	t.Helper()
 	r := rng.New(seed)
 	b := data.NewBuilder("synth").
@@ -26,7 +31,8 @@ func synthDataset(t *testing.T, n int, seed uint64) *data.Dataset {
 		Nominal("surface", "seal", "gravel", "concrete").
 		Binary("wet").
 		Binary("label").
-		Interval("label_num")
+		Interval("label_num").
+		Interval("crash_count")
 	for i := 0; i < n; i++ {
 		x1 := r.Normal(0, 1)
 		x2 := r.Normal(0, 1)
@@ -37,13 +43,17 @@ func synthDataset(t *testing.T, n int, seed uint64) *data.Dataset {
 		if score > 1.2 {
 			label = 1
 		}
+		count := math.Floor(score)
+		if count < 0 {
+			count = 0
+		}
 		if r.Float64() < 0.05 {
 			x2 = data.Missing
 		}
 		if r.Float64() < 0.05 {
 			surface = data.Missing
 		}
-		b.Row(x1, x2, surface, wet, label, label)
+		b.Row(x1, x2, surface, wet, label, label, count)
 	}
 	return b.Build()
 }
@@ -60,7 +70,7 @@ func heldOutRows(ds *data.Dataset) [][]float64 {
 				if surface < 0 {
 					sv = data.Missing
 				}
-				rows = append(rows, []float64{x1, x2, sv, float64(len(rows) % 2), data.Missing, data.Missing})
+				rows = append(rows, []float64{x1, x2, sv, float64(len(rows) % 2), data.Missing, data.Missing, data.Missing})
 			}
 		}
 	}
@@ -75,7 +85,7 @@ func treeCfg(ds *data.Dataset) tree.Config {
 }
 
 // trainAll fits one model per artifact kind on the synthetic data.
-func trainAll(t *testing.T, ds *data.Dataset) map[Kind]Scorer {
+func trainAll(t testing.TB, ds *data.Dataset) map[Kind]Scorer {
 	t.Helper()
 	binCol := ds.MustAttrIndex("label")
 	numCol := ds.MustAttrIndex("label_num")
@@ -115,6 +125,26 @@ func trainAll(t *testing.T, ds *data.Dataset) map[Kind]Scorer {
 	if err != nil {
 		t.Fatalf("adaboost: %v", err)
 	}
+	zbCfg := zinb.DefaultConfig()
+	zbCfg.Exclude = []string{"label", "label_num"}
+	zb, err := zinb.Train(ds, ds.MustAttrIndex("crash_count"), zbCfg)
+	if err != nil {
+		t.Fatalf("zinb: %v", err)
+	}
+	m5Cfg := m5.DefaultConfig()
+	m5Cfg.Tree = treeCfg(ds)
+	m5Cfg.Exclude = []string{"label", "crash_count"}
+	mt, err := m5.Train(ds, numCol, m5Cfg)
+	if err != nil {
+		t.Fatalf("m5: %v", err)
+	}
+	nnCfg := neural.DefaultConfig()
+	nnCfg.Epochs = 10
+	nnCfg.Exclude = []string{"label_num", "crash_count"}
+	nn, err := neural.Train(ds, binCol, nnCfg)
+	if err != nil {
+		t.Fatalf("neural: %v", err)
+	}
 	return map[Kind]Scorer{
 		KindDecisionTree:   dt,
 		KindRegressionTree: rt,
@@ -122,6 +152,9 @@ func trainAll(t *testing.T, ds *data.Dataset) map[Kind]Scorer {
 		KindLogistic:       lr,
 		KindBagging:        bag,
 		KindAdaBoost:       ada,
+		KindZINB:           zb.Thresholded(1),
+		KindM5:             mt,
+		KindNeural:         nn,
 	}
 }
 
@@ -130,7 +163,13 @@ func TestRoundTripBitIdenticalPredictions(t *testing.T) {
 	probes := heldOutRows(ds)
 	for kind, model := range trainAll(t, ds) {
 		t.Run(string(kind), func(t *testing.T) {
-			a, err := New("rt-"+string(kind), kind, model, ds.Attrs(), 8, 7, "label", map[string]float64{"mcpv": 0.5})
+			// The zinb payload embeds its own count boundary, which must agree
+			// with the header threshold; trainAll builds it at t = 1.
+			thr := 8
+			if kind == KindZINB {
+				thr = 1
+			}
+			a, err := New("rt-"+string(kind), kind, model, ds.Attrs(), thr, 7, "label", map[string]float64{"mcpv": 0.5})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +196,7 @@ func TestRoundTripBitIdenticalPredictions(t *testing.T) {
 				}
 			}
 			// Header metadata survives.
-			if back.Threshold != 8 || back.Seed != 7 || back.Target != "label" || back.Metrics["mcpv"] != 0.5 {
+			if back.Threshold != thr || back.Seed != 7 || back.Target != "label" || back.Metrics["mcpv"] != 0.5 {
 				t.Fatalf("metadata mangled: %+v", back)
 			}
 		})
@@ -218,12 +257,123 @@ func TestDecodeRejectsCorruptArtifacts(t *testing.T) {
 		"empty":            "",
 		"not json":         "certainly not json",
 		"truncated":        good[:len(good)/2],
-		"wrong version":    strings.Replace(good, `"format_version": 1`, `"format_version": 99`, 1),
+		"future version":   strings.Replace(good, `"format_version": 2`, `"format_version": 99`, 1),
+		"version zero":     strings.Replace(good, `"format_version": 2`, `"format_version": 0`, 1),
 		"unknown kind":     strings.Replace(good, `"kind": "decision-tree"`, `"kind": "perceptron"`, 1),
 		"empty name":       strings.Replace(good, `"name": "corrupt"`, `"name": ""`, 1),
 		"no header target": strings.Replace(good, `"target":`, `"bogus":`, 1),
 		"payload mangled":  strings.Replace(good, `"root":`, `"rooty":`, 1),
 		"payload not tree": strings.Replace(good, `"payload": {`, `"payload": 42, "x": {`, 1),
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: corrupt artifact decoded without error", name)
+		}
+	}
+}
+
+// TestVersionCompat pins the format's compatibility rules: a version-1
+// artifact carrying a version-1 kind still decodes (and re-encodes without
+// silently upgrading), while a version-1 artifact claiming one of the
+// version-2 count/regression kinds is corrupt by construction.
+func TestVersionCompat(t *testing.T) {
+	ds := synthDataset(t, 400, 17)
+	dt, err := tree.Grow(ds, ds.MustAttrIndex("label"), treeCfg(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New("compat", KindDecisionTree, dt, ds.Attrs(), 8, 17, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Replace(buf.String(), `"format_version": 2`, `"format_version": 1`, 1)
+	if v1 == buf.String() {
+		t.Fatal("test setup: version replacement did not apply")
+	}
+	back, err := Decode(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 artifact no longer decodes: %v", err)
+	}
+	if back.FormatVersion != 1 {
+		t.Fatalf("decoded format version = %d, want 1", back.FormatVersion)
+	}
+	decoded, err := back.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range heldOutRows(ds) {
+		if got, want := decoded.PredictProb(row), dt.PredictProb(row); got != want {
+			t.Fatalf("probe %d: version-1 decode drifted: %v vs %v", i, got, want)
+		}
+	}
+	// Re-encoding keeps the artifact at its own version, byte for byte.
+	var again bytes.Buffer
+	if err := back.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != v1 {
+		t.Fatal("re-encoding a version-1 artifact changed its bytes")
+	}
+
+	// A version-2 kind inside a version-1 envelope must be rejected.
+	zbCfg := zinb.DefaultConfig()
+	zbCfg.Exclude = []string{"label", "label_num"}
+	zb, err := zinb.Train(ds, ds.MustAttrIndex("crash_count"), zbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	za, err := New("compat-zinb", KindZINB, zb.Thresholded(1), ds.Attrs(), 1, 17, "crash_count", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := za.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zv1 := strings.Replace(buf.String(), `"format_version": 2`, `"format_version": 1`, 1)
+	if _, err := Decode(strings.NewReader(zv1)); err == nil {
+		t.Error("version-1 artifact with a zinb payload decoded without error")
+	}
+}
+
+// TestDecodeRejectsCorruptCountKinds runs the corrupt-decode table over the
+// version-2 kinds: truncation, mangled payload keys, a payload decoded
+// under the wrong kind, and a zinb payload whose embedded count boundary
+// disagrees with the header threshold.
+func TestDecodeRejectsCorruptCountKinds(t *testing.T) {
+	ds := synthDataset(t, 500, 19)
+	encoded := func(kind Kind, model Scorer, thr int, target string) string {
+		t.Helper()
+		a, err := New("c-"+string(kind), kind, model, ds.Attrs(), thr, 19, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := a.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	models := trainAll(t, ds)
+	zs := encoded(KindZINB, models[KindZINB], 1, "crash_count")
+	ms := encoded(KindM5, models[KindM5], 8, "label_num")
+	ns := encoded(KindNeural, models[KindNeural], 8, "label")
+
+	cases := map[string]string{
+		"zinb truncated":      zs[:len(zs)/2],
+		"zinb payload key":    strings.Replace(zs, `"hurdle_weights"`, `"hurdle_wrong"`, 1),
+		"zinb as logistic":    strings.Replace(zs, `"kind": "zinb"`, `"kind": "logistic"`, 1),
+		"zinb threshold":      strings.Replace(zs, `"threshold": 1`, `"threshold": 3`, 1),
+		"m5 truncated":        ms[:len(ms)/2],
+		"m5 payload key":      strings.Replace(ms, `"structure"`, `"structurey"`, 1),
+		"m5 as decision-tree": strings.Replace(ms, `"kind": "m5"`, `"kind": "decision-tree"`, 1),
+		"neural truncated":    ns[:len(ns)/2],
+		"neural payload key":  strings.Replace(ns, `"w1"`, `"w9"`, 1),
+		"neural as zinb":      strings.Replace(ns, `"kind": "neural"`, `"kind": "zinb"`, 1),
 	}
 	for name, in := range cases {
 		if _, err := Decode(strings.NewReader(in)); err == nil {

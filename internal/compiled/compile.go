@@ -4,16 +4,23 @@ import (
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/m5"
+	"roadcrash/internal/mining/neural"
 	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/mining/zinb"
 )
 
 // Compile lowers a decoded learner into its compiled evaluation form.
 // Every artifact learner kind maps to a ColumnScorer: trees flatten,
 // naive Bayes precomputes its log-probability tables, ensembles compile
-// their members, and logistic models (already columnar via buffer-reusing
-// ScoreColumns) pass through. An unrecognized scorer is returned
-// unchanged, so callers can compile unconditionally — interpretation is
-// the graceful fallback, never an error.
+// their members, and M5 model trees lower to a flat array tree whose
+// leaves run columnar dot products. The already-columnar linear-algebra
+// learners pass through: logistic models, ZINB threshold classifiers (two
+// fused linear predictors scoring P(count > t)) and neural networks
+// (fused layer loops) all carry buffer-reusing ScoreColumns of their own.
+// An unrecognized scorer is returned unchanged, so callers can compile
+// unconditionally — interpretation is the graceful fallback, never an
+// error.
 func Compile(s Scorer) Scorer {
 	switch m := s.(type) {
 	case *tree.Tree:
@@ -25,6 +32,12 @@ func Compile(s Scorer) Scorer {
 	case *ensemble.AdaBoost:
 		return m.Compile()
 	case *logit.Model:
+		return m
+	case zinb.ThresholdClassifier:
+		return m
+	case *m5.Model:
+		return m.Compile()
+	case *neural.Model:
 		return m
 	}
 	return s

@@ -10,7 +10,10 @@ import (
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/m5"
+	"roadcrash/internal/mining/neural"
 	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/mining/zinb"
 	"roadcrash/internal/rng"
 	"roadcrash/internal/roadnet"
 )
@@ -20,7 +23,9 @@ import (
 // drive trained models with live ScenarioStream traffic. The surface
 // attribute deliberately trains on only two of the three scenario levels:
 // "concrete" rows arriving from a stream are unseen levels and must score
-// as missing on both engines.
+// as missing on both engines. crash_count carries the same signal as a
+// count — zero on quiet segments, growing with the score — with a few
+// missing cells, so the zinb hurdle has both components to fit.
 func trainDataset(n int, seed uint64) *data.Dataset {
 	r := rng.New(seed)
 	b := data.NewBuilder("compile-train").
@@ -29,7 +34,8 @@ func trainDataset(n int, seed uint64) *data.Dataset {
 		Nominal(roadnet.AttrSurface, "asphalt", "spray-seal").
 		Binary(roadnet.AttrWetCrash).
 		Binary("label").
-		Interval("label_num")
+		Interval("label_num").
+		Interval(roadnet.CrashCountAttr)
 	for i := 0; i < n; i++ {
 		aadt := 500 + 4000*r.Float64()
 		age := 25 * r.Float64()
@@ -40,13 +46,20 @@ func trainDataset(n int, seed uint64) *data.Dataset {
 		if score > 3.4 {
 			label = 1
 		}
+		count := math.Floor(score) - 4
+		if count < 0 {
+			count = 0
+		}
 		if r.Float64() < 0.06 {
 			age = data.Missing
 		}
 		if r.Float64() < 0.06 {
 			surface = data.Missing
 		}
-		b.Row(aadt, age, surface, wet, label, label)
+		if r.Float64() < 0.04 {
+			count = data.Missing
+		}
+		b.Row(aadt, age, surface, wet, label, label, count)
 	}
 	return b.Build()
 }
@@ -76,7 +89,7 @@ func learners(t testing.TB, ds *data.Dataset) map[artifact.Kind]artifact.Scorer 
 		t.Fatalf("naive bayes: %v", err)
 	}
 	lrCfg := logit.DefaultConfig()
-	lrCfg.Exclude = []string{"label_num"}
+	lrCfg.Exclude = []string{"label_num", roadnet.CrashCountAttr}
 	lr, err := logit.Train(ds, binCol, lrCfg)
 	if err != nil {
 		t.Fatalf("logit: %v", err)
@@ -96,6 +109,26 @@ func learners(t testing.TB, ds *data.Dataset) map[artifact.Kind]artifact.Scorer 
 	if err != nil {
 		t.Fatalf("adaboost: %v", err)
 	}
+	zbCfg := zinb.DefaultConfig()
+	zbCfg.Exclude = []string{"label", "label_num"}
+	zb, err := zinb.Train(ds, ds.MustAttrIndex(roadnet.CrashCountAttr), zbCfg)
+	if err != nil {
+		t.Fatalf("zinb: %v", err)
+	}
+	m5Cfg := m5.DefaultConfig()
+	m5Cfg.Tree = tCfg
+	m5Cfg.Exclude = []string{"label", roadnet.CrashCountAttr}
+	mt, err := m5.Train(ds, numCol, m5Cfg)
+	if err != nil {
+		t.Fatalf("m5: %v", err)
+	}
+	nnCfg := neural.DefaultConfig()
+	nnCfg.Epochs = 10
+	nnCfg.Exclude = []string{"label_num", roadnet.CrashCountAttr}
+	nn, err := neural.Train(ds, binCol, nnCfg)
+	if err != nil {
+		t.Fatalf("neural: %v", err)
+	}
 	return map[artifact.Kind]artifact.Scorer{
 		artifact.KindDecisionTree:   dt,
 		artifact.KindRegressionTree: rt,
@@ -103,6 +136,9 @@ func learners(t testing.TB, ds *data.Dataset) map[artifact.Kind]artifact.Scorer 
 		artifact.KindLogistic:       lr,
 		artifact.KindBagging:        bag,
 		artifact.KindAdaBoost:       ada,
+		artifact.KindZINB:           zb.Thresholded(2),
+		artifact.KindM5:             mt,
+		artifact.KindNeural:         nn,
 	}
 }
 
@@ -119,7 +155,7 @@ func probeRows() [][]float64 {
 					sv = data.Missing
 				}
 				for _, wet := range []float64{0, 1, data.Missing} {
-					rows = append(rows, []float64{aadt, age, sv, wet, data.Missing, data.Missing})
+					rows = append(rows, []float64{aadt, age, sv, wet, data.Missing, data.Missing, data.Missing})
 				}
 			}
 		}
@@ -244,7 +280,13 @@ func TestCompiledStreamDifferential(t *testing.T) {
 	schema := ds.Attrs()
 	const rows = 3000
 	for kind, interp := range learners(t, ds) {
-		a, err := artifact.New("diff", kind, interp, schema, 8, 1, "label", nil)
+		// The zinb payload carries its own count boundary (t = 2 from
+		// learners); keep the header threshold in agreement.
+		thr := 8
+		if kind == artifact.KindZINB {
+			thr = 2
+		}
+		a, err := artifact.New("diff", kind, interp, schema, thr, 1, "label", nil)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}

@@ -10,7 +10,10 @@ import (
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
+	"roadcrash/internal/mining/m5"
+	"roadcrash/internal/mining/neural"
 	"roadcrash/internal/mining/tree"
+	"roadcrash/internal/mining/zinb"
 	"roadcrash/internal/rng"
 	"roadcrash/internal/roadnet"
 )
@@ -22,7 +25,8 @@ type ExportOptions struct {
 	// Threshold is the crash-proneness boundary the target is derived at.
 	Threshold int
 	// Learner is one of "tree", "regtree", "bayes", "logit", "bagging",
-	// "adaboost"; empty means "tree", the paper's predominant learner.
+	// "adaboost", "zinb", "m5", "neural"; empty means "tree", the paper's
+	// predominant learner.
 	Learner string
 	// Name overrides the artifact name; empty derives
 	// "phase<P>-<learner>-cp<T>".
@@ -44,13 +48,19 @@ func learnerKind(learner string) (artifact.Kind, error) {
 		return artifact.KindBagging, nil
 	case "adaboost":
 		return artifact.KindAdaBoost, nil
+	case "zinb":
+		return artifact.KindZINB, nil
+	case "m5":
+		return artifact.KindM5, nil
+	case "neural":
+		return artifact.KindNeural, nil
 	}
-	return "", fmt.Errorf("core: unknown learner %q (want tree, regtree, bayes, logit, bagging or adaboost)", learner)
+	return "", fmt.Errorf("core: unknown learner %q (want tree, regtree, bayes, logit, bagging, adaboost, zinb, m5 or neural)", learner)
 }
 
 // ExportLearners lists the accepted -learner values.
 func ExportLearners() []string {
-	return []string{"tree", "regtree", "bayes", "logit", "bagging", "adaboost"}
+	return []string{"tree", "regtree", "bayes", "logit", "bagging", "adaboost", "zinb", "m5", "neural"}
 }
 
 // ExportArtifact trains the selected learner at one threshold and wraps it
@@ -76,6 +86,9 @@ func (s *Study) ExportArtifact(opt ExportOptions) (*artifact.Artifact, error) {
 	if opt.Threshold < 0 || (opt.Threshold == 0 && opt.Phase != 1) {
 		return nil, fmt.Errorf("core: threshold %d invalid for phase %d", opt.Threshold, opt.Phase)
 	}
+	if kind == artifact.KindZINB && opt.Phase != 1 {
+		return nil, fmt.Errorf("core: the zinb count model needs phase 1 — the hurdle is fit on zero-crash segments, which phase 2 drops")
+	}
 	ds, binCol, numCol, features, err := s.withTargets(base, opt.Threshold)
 	if err != nil {
 		return nil, err
@@ -85,11 +98,19 @@ func (s *Study) ExportArtifact(opt ExportOptions) (*artifact.Artifact, error) {
 		return nil, fmt.Errorf("core: threshold %d leaves a single class (%d/%d)", opt.Threshold, neg, pos)
 	}
 	target, targetCol := TargetAttr, binCol
-	if kind == artifact.KindRegressionTree {
+	switch kind {
+	case artifact.KindRegressionTree, artifact.KindM5:
+		// Both regress the 0/1 interval target; M5 is still assessed as a
+		// classifier (clamped predictions against the same 0/1 values), the
+		// treatment SupportingModelSweep gives it.
 		target, targetCol = TargetNumAttr, numCol
+	case artifact.KindZINB:
+		// The hurdle model regresses the raw crash count; the artifact's
+		// threshold turns it into the P(count > t) classifier at decode.
+		target = roadnet.CrashCountAttr
 	}
 
-	trainer, err := s.exportTrainer(kind, features)
+	trainer, err := s.exportTrainer(kind, features, opt.Threshold)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +168,9 @@ func (s *Study) ExportArtifact(opt ExportOptions) (*artifact.Artifact, error) {
 	if dt, ok := model.(*tree.Tree); ok {
 		metrics["leaves"] = float64(dt.Leaves())
 	}
+	if mt, ok := model.(*m5.Model); ok {
+		metrics["leaves"] = float64(mt.Leaves())
+	}
 
 	name := opt.Name
 	if name == "" {
@@ -160,8 +184,10 @@ func (s *Study) ExportArtifact(opt ExportOptions) (*artifact.Artifact, error) {
 }
 
 // exportTrainer builds the training closure for one learner kind over the
-// study's configured learner settings.
-func (s *Study) exportTrainer(kind artifact.Kind, features []int) (func(tr *data.Dataset, tgt int) (artifact.Scorer, error), error) {
+// study's configured learner settings. threshold only matters to the ZINB
+// trainer, whose count model is wrapped as a P(count > threshold)
+// classifier.
+func (s *Study) exportTrainer(kind artifact.Kind, features []int, threshold int) (func(tr *data.Dataset, tgt int) (artifact.Scorer, error), error) {
 	exclude := []string{roadnet.CrashCountAttr, TargetAttr, TargetNumAttr}
 	switch kind {
 	case artifact.KindDecisionTree:
@@ -203,6 +229,37 @@ func (s *Study) exportTrainer(kind artifact.Kind, features []int) (func(tr *data
 		cfg.Seed = s.Config.Seed
 		return func(tr *data.Dataset, tgt int) (artifact.Scorer, error) {
 			return ensemble.TrainAdaBoost(tr, tgt, cfg)
+		}, nil
+	case artifact.KindZINB:
+		// The count column is the training target (zinb.Train excludes it
+		// from the design itself); the derived binary targets must not leak
+		// into the regressors.
+		cfg := zinb.DefaultConfig()
+		cfg.Exclude = []string{TargetAttr, TargetNumAttr}
+		return func(tr *data.Dataset, tgt int) (artifact.Scorer, error) {
+			countCol, err := tr.AttrIndex(roadnet.CrashCountAttr)
+			if err != nil {
+				return nil, err
+			}
+			m, err := zinb.Train(tr, countCol, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return m.Thresholded(threshold), nil
+		}, nil
+	case artifact.KindM5:
+		cfg := m5.DefaultConfig()
+		cfg.Tree.Features = features
+		cfg.Exclude = exclude
+		return func(tr *data.Dataset, tgt int) (artifact.Scorer, error) {
+			return m5.Train(tr, tgt, cfg)
+		}, nil
+	case artifact.KindNeural:
+		cfg := neural.DefaultConfig()
+		cfg.Exclude = exclude
+		cfg.Seed = s.Config.Seed
+		return func(tr *data.Dataset, tgt int) (artifact.Scorer, error) {
+			return neural.Train(tr, tgt, cfg)
 		}, nil
 	}
 	return nil, fmt.Errorf("core: no trainer for kind %q", kind)

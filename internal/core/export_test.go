@@ -7,6 +7,7 @@ import (
 
 	"roadcrash/internal/artifact"
 	"roadcrash/internal/data"
+	"roadcrash/internal/roadnet"
 )
 
 func TestExportArtifactTree(t *testing.T) {
@@ -80,7 +81,12 @@ func TestExportArtifactLearners(t *testing.T) {
 		if learner == "bagging" || learner == "adaboost" {
 			continue
 		}
-		a, err := s.ExportArtifact(ExportOptions{Phase: 2, Threshold: 4, Learner: learner})
+		// The zinb hurdle needs the zero-crash segments only phase 1 keeps.
+		phase := 2
+		if learner == "zinb" {
+			phase = 1
+		}
+		a, err := s.ExportArtifact(ExportOptions{Phase: phase, Threshold: 4, Learner: learner})
 		if err != nil {
 			t.Fatalf("%s: %v", learner, err)
 		}
@@ -94,12 +100,42 @@ func TestExportArtifactLearners(t *testing.T) {
 		if !strings.Contains(a.Name, learner) {
 			t.Errorf("%s: name %q", learner, a.Name)
 		}
-		if learner == "regtree" {
+		switch learner {
+		case "regtree":
 			if a.Target != TargetNumAttr {
 				t.Errorf("regtree target = %q", a.Target)
 			}
 			if _, ok := a.Metrics["r_squared"]; !ok {
 				t.Errorf("regtree metrics = %v", a.Metrics)
+			}
+		case "m5":
+			// Regresses the 0/1 target but is assessed as a classifier.
+			if a.Target != TargetNumAttr {
+				t.Errorf("m5 target = %q", a.Target)
+			}
+			for _, k := range []string{"mcpv", "leaves"} {
+				if _, ok := a.Metrics[k]; !ok {
+					t.Errorf("m5 metric %q missing: %v", k, a.Metrics)
+				}
+			}
+		case "zinb":
+			// The hurdle regresses the raw count; the artifact classifies
+			// P(count > threshold) against the same derived boundary.
+			if a.Target != roadnet.CrashCountAttr {
+				t.Errorf("zinb target = %q", a.Target)
+			}
+			if a.Threshold != 4 {
+				t.Errorf("zinb threshold = %d", a.Threshold)
+			}
+			if _, ok := a.Metrics["mcpv"]; !ok {
+				t.Errorf("zinb metrics = %v", a.Metrics)
+			}
+		case "neural":
+			if a.Target != TargetAttr {
+				t.Errorf("neural target = %q", a.Target)
+			}
+			if _, ok := a.Metrics["mcpv"]; !ok {
+				t.Errorf("neural metrics = %v", a.Metrics)
 			}
 		}
 	}
@@ -108,11 +144,12 @@ func TestExportArtifactLearners(t *testing.T) {
 func TestExportArtifactErrors(t *testing.T) {
 	s := smallStudy(t)
 	cases := []ExportOptions{
-		{Phase: 3, Threshold: 8},                 // bad phase
-		{Phase: 2, Threshold: 8, Learner: "svm"}, // unknown learner
-		{Phase: 2, Threshold: 0},                 // >0 boundary needs phase 1
-		{Phase: 2, Threshold: -1},                // negative threshold
-		{Phase: 2, Threshold: 1 << 20},           // single-class derivation
+		{Phase: 3, Threshold: 8},                  // bad phase
+		{Phase: 2, Threshold: 8, Learner: "svm"},  // unknown learner
+		{Phase: 2, Threshold: 0},                  // >0 boundary needs phase 1
+		{Phase: 2, Threshold: -1},                 // negative threshold
+		{Phase: 2, Threshold: 1 << 20},            // single-class derivation
+		{Phase: 2, Threshold: 4, Learner: "zinb"}, // the hurdle needs phase 1's zero-crash rows
 	}
 	for i, opt := range cases {
 		if _, err := s.ExportArtifact(opt); err == nil {

@@ -22,12 +22,18 @@ import (
 // newService exports a small-scale study model and serves it — loadgen
 // tests run against the same artifact + server stack the CLI deploys.
 func newService(t *testing.T, cfg serve.Config) *httptest.Server {
+	return newServiceFor(t, cfg, core.ExportOptions{Phase: 2, Threshold: 8, Learner: "tree"})
+}
+
+// newServiceFor is newService with the export under the caller's control,
+// so workloads can target any learner kind.
+func newServiceFor(t *testing.T, cfg serve.Config, opt core.ExportOptions) *httptest.Server {
 	t.Helper()
 	study, err := core.NewStudy(core.SmallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := study.ExportArtifact(core.ExportOptions{Phase: 2, Threshold: 8, Learner: "tree"})
+	a, err := study.ExportArtifact(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,6 +101,37 @@ func TestRunMixed(t *testing.T) {
 	// throughput ratio (the batch fast path's benchmark number).
 	if want := rep.Stream.RowsPerSecond / rep.Batch.RowsPerSecond; rep.StreamToBatchRatio != want {
 		t.Fatalf("stream/batch ratio %v, want %v", rep.StreamToBatchRatio, want)
+	}
+}
+
+// TestRunZINBCountWorkload drives both endpoints against a served ZINB
+// count model — the format-version-2 kind whose risk is P(count > t) from
+// a hurdle regression rather than a classifier — pinning that the load
+// generator can discover its schema from /models and sustain traffic
+// against it with zero errors.
+func TestRunZINBCountWorkload(t *testing.T) {
+	srv := newServiceFor(t, serve.Config{}, core.ExportOptions{Phase: 1, Threshold: 0, Learner: "zinb"})
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        ModeMixed,
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		BatchRows:   16,
+		StreamRows:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != "phase1-zinb-cp0" {
+		t.Fatalf("drove model %q, want the exported zinb artifact", rep.Model)
+	}
+	for name, er := range map[string]*EndpointReport{"score": rep.Batch, "stream": rep.Stream} {
+		if er.Requests == 0 || er.RowsScored == 0 {
+			t.Fatalf("%s: no traffic against the zinb model: %+v", name, er)
+		}
+		if er.Errors != 0 {
+			t.Fatalf("%s: %d errors against a healthy zinb service: %v", name, er.Errors, er.StatusCounts)
+		}
 	}
 }
 
@@ -281,7 +318,10 @@ func TestRunRetriesExhausted(t *testing.T) {
 	if b.Requests == 0 || b.Rejected429 != b.Requests || b.RetriedOK != 0 {
 		t.Fatalf("exhausted retries must surface as rejections: %+v", b)
 	}
-	if b.Retries < 2*b.Requests {
+	// The run deadline may expire mid-backoff on the final request, which
+	// then lands with fewer than its full retry budget burned — every
+	// completed request must still account for both retries.
+	if b.Retries < 2*(b.Requests-1) {
 		t.Fatalf("retries=%d for %d requests with 2 attempts each, want every attempt counted", b.Retries, b.Requests)
 	}
 }

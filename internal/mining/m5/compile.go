@@ -1,0 +1,107 @@
+package m5
+
+import (
+	"math"
+
+	"roadcrash/internal/linalg"
+	"roadcrash/internal/mining/encode"
+	"roadcrash/internal/mining/tree"
+)
+
+// Compiled is the flattened evaluation form of a model tree: rows route
+// through a flat array tree to a leaf id, and each leaf runs a dot product
+// of its ridge coefficients over the encoded design (falling back to the
+// leaf mean, then to the structural tree's own prediction, exactly like
+// the interpreted Model). The leaf maps are lowered into id-indexed arrays
+// so the hot path does slice loads instead of map lookups. Immutable and
+// safe for concurrent use.
+type Compiled struct {
+	idx       *tree.LeafIndex
+	structure *tree.Compiled
+	enc       *encode.Encoder
+	weights   [][]float64 // leaf id -> ridge coefficients, nil without a fit
+	means     []float64   // leaf id -> mean
+	hasMean   []bool
+}
+
+// Compile lowers the fitted model tree into its flat evaluation form.
+func (m *Model) Compile() *Compiled {
+	li := m.structure.CompileLeafIndex()
+	n := li.MaxLeafID() + 1
+	for id := range m.leafModels {
+		if id >= n {
+			n = id + 1
+		}
+	}
+	for id := range m.leafMeans {
+		if id >= n {
+			n = id + 1
+		}
+	}
+	c := &Compiled{
+		idx:       li,
+		structure: m.structure.Compile(),
+		enc:       m.enc,
+		weights:   make([][]float64, n),
+		means:     make([]float64, n),
+		hasMean:   make([]bool, n),
+	}
+	for id, w := range m.leafModels {
+		if id >= 0 {
+			c.weights[id] = w
+		}
+	}
+	for id, mean := range m.leafMeans {
+		if id >= 0 {
+			c.means[id] = mean
+			c.hasMean[id] = true
+		}
+	}
+	return c
+}
+
+// score routes one row and evaluates its leaf, reusing x as the design
+// buffer when a leaf regression runs; it returns the estimate and the
+// (possibly grown) buffer.
+func (c *Compiled) score(row []float64, x []float64) (float64, []float64) {
+	id := c.idx.LeafID(row)
+	if id >= 0 && id < len(c.weights) {
+		if w := c.weights[id]; w != nil {
+			x = c.enc.Transform(row, x)
+			return linalg.Dot(w, x), x
+		}
+		if c.hasMean[id] {
+			return c.means[id], x
+		}
+	}
+	return c.structure.Predict(row), x
+}
+
+// Predict returns the model-tree estimate for a full-schema row — exactly
+// Model.Predict on the flat encoding.
+func (c *Compiled) Predict(row []float64) float64 {
+	v, _ := c.score(row, nil)
+	return v
+}
+
+// PredictProb clamps Predict into [0,1], exactly as Model.PredictProb.
+func (c *Compiled) PredictProb(row []float64) float64 {
+	return math.Min(1, math.Max(0, c.Predict(row)))
+}
+
+// ScoreColumns scores every row of a schema-ordered columnar block into
+// out (len(out) rows). The raw row and the design vector are allocated
+// once per call instead of once per row. Safe for concurrent use: all
+// state is call-local.
+func (c *Compiled) ScoreColumns(cols [][]float64, out []float64) {
+	row := make([]float64, len(cols))
+	var x []float64
+	for i := range out {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		var v float64
+		v, x = c.score(row, x)
+		out[i] = math.Min(1, math.Max(0, v))
+	}
+}

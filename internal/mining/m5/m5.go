@@ -122,3 +122,7 @@ func (m *Model) PredictProb(row []float64) float64 {
 
 // Leaves returns the structural leaf count.
 func (m *Model) Leaves() int { return m.structure.Leaves() }
+
+// Structure returns the underlying regression-tree structure. The caller
+// must not modify it.
+func (m *Model) Structure() *tree.Tree { return m.structure }

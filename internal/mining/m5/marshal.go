@@ -1,0 +1,119 @@
+package m5
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"roadcrash/internal/mining/encode"
+	"roadcrash/internal/mining/tree"
+)
+
+// leafJSON carries one structural leaf's fitted regression: the leaf mean,
+// plus ridge coefficients over the encoded design when the leaf had enough
+// instances for a stable fit.
+type leafJSON struct {
+	ID      int       `json:"id"`
+	Mean    float64   `json:"mean"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+type modelJSON struct {
+	Structure *tree.Tree      `json:"structure"`
+	Encoder   *encode.Encoder `json:"encoder"`
+	Target    int             `json:"target"`
+	Leaves    []leafJSON      `json:"leaves"`
+}
+
+// Validate checks that the model's tree structure and encoded design both
+// fit a row schema of nAttrs columns, and that every leaf regression has
+// the design's width.
+func (m *Model) Validate(nAttrs int) error {
+	if m.structure == nil {
+		return fmt.Errorf("m5: model has no tree structure")
+	}
+	if m.enc == nil {
+		return fmt.Errorf("m5: model has no encoder")
+	}
+	if got := m.structure.NumAttrs(); got != nAttrs {
+		return fmt.Errorf("m5: tree structure consumes %d columns, schema has %d", got, nAttrs)
+	}
+	if err := m.enc.Validate(nAttrs); err != nil {
+		return err
+	}
+	if m.target < 0 || m.target >= nAttrs {
+		return fmt.Errorf("m5: target column %d outside schema of %d columns", m.target, nAttrs)
+	}
+	for id, w := range m.leafModels {
+		if len(w) != m.enc.Width() {
+			return fmt.Errorf("m5: leaf %d has %d weights but design width %d", id, len(w), m.enc.Width())
+		}
+	}
+	return nil
+}
+
+// MarshalJSON serializes the model tree: the structural tree (with its
+// embedded schema), the leaf-model encoder, and one entry per fitted leaf
+// sorted by leaf id so encoding is deterministic.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if m.structure == nil || m.enc == nil {
+		return nil, fmt.Errorf("m5: marshaling an unfitted model")
+	}
+	for id := range m.leafModels {
+		if _, ok := m.leafMeans[id]; !ok {
+			return nil, fmt.Errorf("m5: leaf %d has coefficients but no mean", id)
+		}
+	}
+	ids := make([]int, 0, len(m.leafMeans))
+	for id := range m.leafMeans {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	leaves := make([]leafJSON, 0, len(ids))
+	for _, id := range ids {
+		leaves = append(leaves, leafJSON{ID: id, Mean: m.leafMeans[id], Weights: m.leafModels[id]})
+	}
+	return json.Marshal(modelJSON{Structure: m.structure, Encoder: m.enc, Target: m.target, Leaves: leaves})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return fmt.Errorf("m5: %w", err)
+	}
+	if j.Structure == nil {
+		return fmt.Errorf("m5: serialized model has no tree structure")
+	}
+	if j.Encoder == nil {
+		return fmt.Errorf("m5: serialized model has no encoder")
+	}
+	if j.Target < 0 || j.Target >= j.Structure.NumAttrs() {
+		return fmt.Errorf("m5: target column %d outside schema of %d columns", j.Target, j.Structure.NumAttrs())
+	}
+	leafModels := make(map[int][]float64, len(j.Leaves))
+	leafMeans := make(map[int]float64, len(j.Leaves))
+	prev := -1
+	for _, lf := range j.Leaves {
+		if lf.ID < 0 || lf.ID >= j.Structure.Leaves() {
+			return fmt.Errorf("m5: leaf id %d outside the structure's %d leaves", lf.ID, j.Structure.Leaves())
+		}
+		if lf.ID <= prev {
+			return fmt.Errorf("m5: leaf ids must be strictly increasing, got %d after %d", lf.ID, prev)
+		}
+		prev = lf.ID
+		if lf.Weights != nil && len(lf.Weights) != j.Encoder.Width() {
+			return fmt.Errorf("m5: leaf %d has %d weights but design width %d", lf.ID, len(lf.Weights), j.Encoder.Width())
+		}
+		leafMeans[lf.ID] = lf.Mean
+		if lf.Weights != nil {
+			leafModels[lf.ID] = lf.Weights
+		}
+	}
+	m.structure = j.Structure
+	m.enc = j.Encoder
+	m.leafModels = leafModels
+	m.leafMeans = leafMeans
+	m.target = j.Target
+	return nil
+}

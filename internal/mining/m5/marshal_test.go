@@ -1,0 +1,175 @@
+package m5
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+var probeRows = [][]float64{
+	{0.05, 0}, {0.25, 0}, {0.49, 0}, {0.51, 0}, {0.75, 0}, {0.99, 0},
+	{data.Missing, 0},
+}
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	ds := piecewiseLinear(2000, 11)
+	m, err := Train(ds, ds.MustAttrIndex("y"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Model
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if got.Leaves() != m.Leaves() {
+		t.Fatalf("leaves = %d, want %d", got.Leaves(), m.Leaves())
+	}
+	for _, row := range probeRows {
+		if a, b := m.Predict(row), got.Predict(row); a != b {
+			t.Fatalf("Predict(%v): %v vs decoded %v", row, a, b)
+		}
+		if a, b := m.PredictProb(row), got.PredictProb(row); a != b {
+			t.Fatalf("PredictProb(%v): %v vs decoded %v", row, a, b)
+		}
+	}
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("re-encoding a decoded model changed the bytes")
+	}
+}
+
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	m := trainedModel(t)
+	c := m.Compile()
+	for _, row := range probeRows {
+		if a, b := m.Predict(row), c.Predict(row); a != b {
+			t.Fatalf("Predict(%v): interpreted %v vs compiled %v", row, a, b)
+		}
+		if a, b := m.PredictProb(row), c.PredictProb(row); a != b {
+			t.Fatalf("PredictProb(%v): interpreted %v vs compiled %v", row, a, b)
+		}
+	}
+	cols := make([][]float64, 2)
+	for _, row := range probeRows {
+		cols[0] = append(cols[0], row[0])
+		cols[1] = append(cols[1], row[1])
+	}
+	out := make([]float64, len(probeRows))
+	c.ScoreColumns(cols, out)
+	for i, row := range probeRows {
+		if want := m.PredictProb(row); out[i] != want {
+			t.Fatalf("row %d: columnar %v vs interpreted %v", i, out[i], want)
+		}
+	}
+}
+
+// TestCompiledFallbackPaths pins the two non-regression leaf paths: a leaf
+// with only a mean (no stable ridge fit) and a leaf absent from both maps
+// (the structural-tree fallback) must agree between interpreted and
+// compiled forms.
+func TestCompiledFallbackPaths(t *testing.T) {
+	m := trainedModel(t)
+
+	// Strip all leaf regressions: every prediction takes the mean path.
+	m.leafModels = map[int][]float64{}
+	c := m.Compile()
+	for _, row := range probeRows {
+		if a, b := m.Predict(row), c.Predict(row); a != b {
+			t.Fatalf("mean path Predict(%v): interpreted %v vs compiled %v", row, a, b)
+		}
+	}
+
+	// Strip the means too: predictions fall back to the structural tree.
+	m.leafMeans = map[int]float64{}
+	c = m.Compile()
+	for _, row := range probeRows {
+		if a, b := m.Predict(row), c.Predict(row); a != b {
+			t.Fatalf("structural fallback Predict(%v): interpreted %v vs compiled %v", row, a, b)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	m := trainedModel(t)
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := string(raw)
+	// mutate re-encodes the good payload with one top-level field changed.
+	mutate := func(field string, v any) string {
+		t.Helper()
+		var j map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &j); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j[field] = b
+		out, err := json.Marshal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+
+	// Decreasing leaf ids: swap the first two leaf entries.
+	var leaves []json.RawMessage
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(top["leaves"], &leaves); err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) < 2 {
+		t.Fatal("trained model has fewer than two leaves; the swap case needs two")
+	}
+	leaves[0], leaves[1] = leaves[1], leaves[0]
+
+	cases := map[string]string{
+		"not json":     `{"structure":`,
+		"no structure": `{"encoder":{},"target":1,"leaves":[]}`,
+		"no encoder":   strings.Replace(good, `"encoder"`, `"encoder_gone"`, 1),
+		"bad target":   mutate("target", 99),
+		"leaf id out of range": strings.Replace(good, `"leaves":[{"id":0`,
+			`"leaves":[{"id":9999`, 1),
+		"weights width":  strings.Replace(good, `"weights":[`, `"weights":[9.5,`, 1),
+		"leaf ids order": mutate("leaves", leaves),
+	}
+	for name, raw := range cases {
+		var got Model
+		if err := json.Unmarshal([]byte(raw), &got); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(&Model{}); err == nil {
+		t.Error("marshaling an unfitted model should error")
+	}
+	if err := (&Model{}).Validate(2); err == nil {
+		t.Error("validating an unfitted model should error")
+	}
+}

@@ -1,0 +1,19 @@
+package neural
+
+// ScoreColumns scores every row of a schema-ordered columnar block into
+// out (len(out) rows): the fused layer loop of forward over a raw-row and
+// design buffer allocated once per call, so scoring does no per-row
+// allocation. Each score is bit-for-bit PredictProb's (identical Transform,
+// identical accumulation order). Safe for concurrent use: all state is
+// call-local.
+func (m *Model) ScoreColumns(cols [][]float64, out []float64) {
+	row := make([]float64, len(cols))
+	var x []float64
+	for i := range out {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		x = m.enc.Transform(row, x)
+		out[i] = m.forward(x)
+	}
+}

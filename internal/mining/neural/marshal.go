@@ -1,0 +1,68 @@
+package neural
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"roadcrash/internal/mining/encode"
+)
+
+type modelJSON struct {
+	Encoder *encode.Encoder `json:"encoder"`
+	Hidden  int             `json:"hidden"`
+	W1      [][]float64     `json:"w1"`
+	B1      []float64       `json:"b1"`
+	W2      []float64       `json:"w2"`
+	B2      float64         `json:"b2"`
+}
+
+// Validate checks that the fitted design only references source columns
+// inside a row schema of nAttrs columns. The encoder carries the
+// standardization parameters (per-column means and deviations), so a
+// valid encoder is all a decoded network needs to reproduce its inputs.
+func (m *Model) Validate(nAttrs int) error {
+	if m.enc == nil {
+		return fmt.Errorf("neural: model has no encoder")
+	}
+	return m.enc.Validate(nAttrs)
+}
+
+// MarshalJSON serializes the network: the standardizing encoder plus the
+// layer weights.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if m.enc == nil {
+		return nil, fmt.Errorf("neural: marshaling an unfitted model")
+	}
+	return json.Marshal(modelJSON{Encoder: m.enc, Hidden: m.hidden, W1: m.w1, B1: m.b1, W2: m.w2, B2: m.b2})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON, rejecting any
+// layer whose dimensions disagree with the hidden size or design width.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return fmt.Errorf("neural: %w", err)
+	}
+	if j.Encoder == nil {
+		return fmt.Errorf("neural: serialized model has no encoder")
+	}
+	if j.Hidden <= 0 {
+		return fmt.Errorf("neural: hidden size %d must be positive", j.Hidden)
+	}
+	if len(j.W1) != j.Hidden || len(j.B1) != j.Hidden || len(j.W2) != j.Hidden {
+		return fmt.Errorf("neural: layer sizes %d/%d/%d disagree with hidden size %d",
+			len(j.W1), len(j.B1), len(j.W2), j.Hidden)
+	}
+	for h, row := range j.W1 {
+		if len(row) != j.Encoder.Width() {
+			return fmt.Errorf("neural: hidden unit %d has %d weights but design width %d", h, len(row), j.Encoder.Width())
+		}
+	}
+	m.enc = j.Encoder
+	m.hidden = j.Hidden
+	m.w1 = j.W1
+	m.b1 = j.B1
+	m.w2 = j.W2
+	m.b2 = j.B2
+	return nil
+}

@@ -1,0 +1,105 @@
+package neural
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+var probeRows = [][]float64{
+	{0.1, 0.1, 0}, {0.1, 0.9, 0}, {0.9, 0.1, 0}, {0.9, 0.9, 0},
+	{0.5, 0.5, 0}, {data.Missing, 0.3, 0}, {0.3, data.Missing, 0},
+}
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	ds := xorDataset(1500, 11)
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	m, err := Train(ds, ds.MustAttrIndex("y"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Model
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range probeRows {
+		if a, b := m.PredictProb(row), got.PredictProb(row); a != b {
+			t.Fatalf("PredictProb(%v): %v vs decoded %v", row, a, b)
+		}
+	}
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("re-encoding a decoded model changed the bytes")
+	}
+}
+
+func TestScoreColumnsMatchesPredictProb(t *testing.T) {
+	m := trainedModel(t)
+	cols := make([][]float64, 3)
+	for _, row := range probeRows {
+		for j := range cols {
+			cols[j] = append(cols[j], row[j])
+		}
+	}
+	out := make([]float64, len(probeRows))
+	m.ScoreColumns(cols, out)
+	for i, row := range probeRows {
+		if want := m.PredictProb(row); out[i] != want {
+			t.Fatalf("row %d: columnar %v vs row-at-a-time %v", i, out[i], want)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	m := trainedModel(t)
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := string(raw)
+	hidden := m.hidden
+	cases := map[string]string{
+		"not json":    `{"encoder":`,
+		"no encoder":  strings.Replace(good, `"encoder"`, `"encoder_gone"`, 1),
+		"zero hidden": strings.Replace(good, `"hidden":8`, `"hidden":0`, 1),
+		"layer size":  strings.Replace(good, `"hidden":8`, `"hidden":3`, 1),
+		"w1 width":    strings.Replace(good, `"w1":[[`, `"w1":[[9.5,`, 1),
+	}
+	if hidden != 8 {
+		t.Fatalf("trained hidden size = %d; the corrupt cases assume 8", hidden)
+	}
+	for name, raw := range cases {
+		var got Model
+		if err := json.Unmarshal([]byte(raw), &got); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(&Model{}); err == nil {
+		t.Error("marshaling an unfitted model should error")
+	}
+	if err := (&Model{}).Validate(3); err == nil {
+		t.Error("validating an unfitted model should error")
+	}
+}

@@ -186,7 +186,13 @@ func Train(ds *data.Dataset, target int, cfg Config) (*Model, error) {
 
 // PredictProb returns P(positive | row) for a full-schema row.
 func (m *Model) PredictProb(row []float64) float64 {
-	x := m.enc.Transform(row, nil)
+	return m.forward(m.enc.Transform(row, nil))
+}
+
+// forward runs the fused layer loop over an already-encoded design vector:
+// each hidden unit's pre-activation accumulates in a scalar, so no hidden
+// buffer is materialized.
+func (m *Model) forward(x []float64) float64 {
 	out := m.b2
 	for h := 0; h < m.hidden; h++ {
 		z := m.b1[h]

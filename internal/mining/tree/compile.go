@@ -45,18 +45,18 @@ type Compiled struct {
 // Compile lowers the fitted tree into its flat array encoding.
 func (t *Tree) Compile() *Compiled {
 	c := &Compiled{width: t.ds.NumAttrs(), regression: t.regression}
-	c.nodes = make([]flatNode, 0, 2*t.leaves)
-	c.flatten(t.root)
+	c.nodes, _ = flatten(make([]flatNode, 0, 2*t.leaves), t.root, func(n *node) float64 { return n.value })
 	return c
 }
 
-// flatten appends n and its subtree in preorder and returns n's slot.
-func (c *Compiled) flatten(n *node) int32 {
-	slot := int32(len(c.nodes))
-	c.nodes = append(c.nodes, flatNode{})
+// flatten appends n and its subtree in preorder, storing leafVal(n) in each
+// leaf's cut slot, and returns the grown slice plus n's slot.
+func flatten(nodes []flatNode, n *node, leafVal func(*node) float64) ([]flatNode, int32) {
+	slot := int32(len(nodes))
+	nodes = append(nodes, flatNode{})
 	if n.leaf {
-		c.nodes[slot] = flatNode{attr: -1, cut: n.value}
-		return slot
+		nodes[slot] = flatNode{attr: -1, cut: leafVal(n)}
+		return nodes, slot
 	}
 	var flags uint8
 	if n.nominal {
@@ -65,13 +65,14 @@ func (c *Compiled) flatten(n *node) int32 {
 	if n.missingLeft {
 		flags |= flagMissingLeft
 	}
-	left := c.flatten(n.left)
-	right := c.flatten(n.right)
-	c.nodes[slot] = flatNode{
+	var left, right int32
+	nodes, left = flatten(nodes, n.left, leafVal)
+	nodes, right = flatten(nodes, n.right, leafVal)
+	nodes[slot] = flatNode{
 		cut: n.cut, leftLevels: n.leftLevels,
 		left: left, right: right, attr: int32(n.attr), flags: flags,
 	}
-	return slot
+	return nodes, slot
 }
 
 // Width returns the full-schema row width the compiled tree consumes.
@@ -148,4 +149,70 @@ func (c *Compiled) ScoreColumns(cols [][]float64, out []float64) {
 	for i := range out {
 		out[i] = c.PredictProbAt(cols, i)
 	}
+}
+
+// LeafIndex is the flat routing form of a fitted tree: the same preorder
+// array layout as Compiled, but its leaves carry the tree's stable leaf
+// ids instead of leaf values. Learners that dispatch per-leaf models (M5
+// model trees) route through it on the scoring hot path. Routing is
+// bit-for-bit Tree.LeafID's. Leaf ids fit exactly in the float64 cut slot
+// (they are small non-negative integers), so no second node layout is
+// needed. Immutable and safe for concurrent use.
+type LeafIndex struct {
+	nodes []flatNode
+}
+
+// CompileLeafIndex lowers the fitted tree into its flat leaf-routing form.
+func (t *Tree) CompileLeafIndex() *LeafIndex {
+	nodes, _ := flatten(make([]flatNode, 0, 2*t.leaves), t.root, func(n *node) float64 { return float64(n.id) })
+	return &LeafIndex{nodes: nodes}
+}
+
+// LeafID routes a full-schema row to its stable leaf id — exactly
+// Tree.LeafID on the flat encoding.
+func (li *LeafIndex) LeafID(row []float64) int {
+	nodes := li.nodes
+	i := int32(0)
+	for {
+		n := &nodes[i]
+		if n.attr < 0 {
+			return int(n.cut)
+		}
+		if goesLeftFlat(n, row[n.attr]) {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// LeafIDAt routes row i of a columnar block (schema-ordered columns, one
+// slice per attribute) without materializing the row.
+func (li *LeafIndex) LeafIDAt(cols [][]float64, i int) int {
+	nodes := li.nodes
+	s := int32(0)
+	for {
+		n := &nodes[s]
+		if n.attr < 0 {
+			return int(n.cut)
+		}
+		if goesLeftFlat(n, cols[n.attr][i]) {
+			s = n.left
+		} else {
+			s = n.right
+		}
+	}
+}
+
+// MaxLeafID returns the largest leaf id reachable through the index.
+func (li *LeafIndex) MaxLeafID() int {
+	max := 0
+	for i := range li.nodes {
+		if li.nodes[i].attr < 0 {
+			if id := int(li.nodes[i].cut); id > max {
+				max = id
+			}
+		}
+	}
+	return max
 }

@@ -103,6 +103,46 @@ func TestCompileBitIdentical(t *testing.T) {
 	}
 }
 
+// TestLeafIndexMatchesInterpretedRouting pins the leaf-id flattening every
+// M5 compiled model rides on: the flat index must route every probe —
+// interval cuts, nominal subsets, out-of-range levels, missing values — to
+// exactly the interpreted tree's leaf id, via both the row and columnar
+// entry points, and ids must stay within [0, Leaves()).
+func TestLeafIndexMatchesInterpretedRouting(t *testing.T) {
+	ds := mixedDataset(1200, 3)
+	target := ds.MustAttrIndex("y")
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 15
+	tr, err := GrowRegression(ds, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := tr.CompileLeafIndex()
+	if want := tr.Leaves() - 1; li.MaxLeafID() != want {
+		t.Fatalf("MaxLeafID = %d, want %d (ids are dense 0..Leaves()-1)", li.MaxLeafID(), want)
+	}
+	probes := compileProbes()
+	cols := make([][]float64, len(probes[0]))
+	for j := range cols {
+		cols[j] = make([]float64, len(probes))
+		for i, row := range probes {
+			cols[j][i] = row[j]
+		}
+	}
+	for i, row := range probes {
+		want := tr.LeafID(row)
+		if got := li.LeafID(row); got != want {
+			t.Errorf("probe %d: flat leaf id %d, interpreted %d", i, got, want)
+		}
+		if got := li.LeafIDAt(cols, i); got != want {
+			t.Errorf("probe %d: columnar leaf id %d, interpreted %d", i, got, want)
+		}
+		if want < 0 || want >= tr.Leaves() {
+			t.Errorf("probe %d: leaf id %d outside [0, %d)", i, want, tr.Leaves())
+		}
+	}
+}
+
 // TestCompileLayout pins the preorder encoding: one slot per node, the
 // left child immediately following its parent — the property that makes
 // the common descent a sequential read.

@@ -1,0 +1,21 @@
+package zinb
+
+// ScoreColumns scores every row of a schema-ordered columnar block into
+// out (len(out) rows). The two linear predictors are fused: each row is
+// encoded once and both the hurdle and the truncated-Poisson dot products
+// run over the same design vector, with the raw row and the design buffer
+// reused across rows instead of allocated per row. Each score is
+// bit-for-bit PredictProb's (the interpreted path runs the identical
+// arithmetic on an identical Transform). Safe for concurrent use: all
+// state is call-local.
+func (c ThresholdClassifier) ScoreColumns(cols [][]float64, out []float64) {
+	row := make([]float64, len(cols))
+	var x []float64
+	for i := range out {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		x = c.m.enc.Transform(row, x)
+		out[i] = c.m.probGreaterX(x, c.t)
+	}
+}

@@ -1,0 +1,133 @@
+package zinb
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+// probeRows exercises both branches of the hurdle plus a missing input.
+var probeRows = [][]float64{
+	{-2, 0}, {-0.5, 0}, {0, 0}, {0.5, 0}, {2, 0},
+	{data.Missing, 0},
+}
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	ds := hurdleWorld(3000, 11)
+	m, err := Train(ds, ds.MustAttrIndex("count"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Model
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range probeRows {
+		for tt := 0; tt <= 4; tt++ {
+			if a, b := m.ProbGreater(row, tt), got.ProbGreater(row, tt); a != b {
+				t.Fatalf("P(>%d | %v): %v vs decoded %v", tt, row, a, b)
+			}
+		}
+		if a, b := m.ExpectedCount(row), got.ExpectedCount(row); a != b {
+			t.Fatalf("E[count | %v]: %v vs decoded %v", row, a, b)
+		}
+	}
+	// Deterministic: same model encodes to the same bytes.
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("re-encoding a decoded model changed the bytes")
+	}
+}
+
+func TestClassifierRoundTrip(t *testing.T) {
+	clf := trainedModel(t).Thresholded(2)
+	b, err := json.Marshal(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ThresholdClassifier
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold() != 2 {
+		t.Fatalf("threshold = %d, want 2", got.Threshold())
+	}
+	if err := got.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range probeRows {
+		if a, b := clf.PredictProb(row), got.PredictProb(row); a != b {
+			t.Fatalf("PredictProb(%v): %v vs decoded %v", row, a, b)
+		}
+	}
+}
+
+func TestScoreColumnsMatchesPredictProb(t *testing.T) {
+	clf := trainedModel(t).Thresholded(1)
+	cols := make([][]float64, 2)
+	for _, row := range probeRows {
+		cols[0] = append(cols[0], row[0])
+		cols[1] = append(cols[1], row[1])
+	}
+	out := make([]float64, len(probeRows))
+	clf.ScoreColumns(cols, out)
+	for i, row := range probeRows {
+		if want := clf.PredictProb(row); out[i] != want {
+			t.Fatalf("row %d: columnar %v vs row-at-a-time %v", i, out[i], want)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	m := trainedModel(t)
+	good, err := json.Marshal(m.Thresholded(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"not json":           `{"model":`,
+		"no model":           `{"threshold":1}`,
+		"negative threshold": strings.Replace(string(good), `"threshold":1`, `"threshold":-3`, 1),
+		"hurdle width":       strings.Replace(string(good), `"hurdle_weights":[`, `"hurdle_weights":[9.5,`, 1),
+		"count width":        strings.Replace(string(good), `"count_weights":[`, `"count_weights":[9.5,`, 1),
+		"no encoder":         strings.Replace(string(good), `"encoder"`, `"encoder_gone"`, 1),
+	}
+	for name, raw := range cases {
+		var c ThresholdClassifier
+		if err := json.Unmarshal([]byte(raw), &c); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	var plain Model
+	if err := json.Unmarshal([]byte(`{"hurdle_weights":[1],"count_weights":[1]}`), &plain); err == nil {
+		t.Error("model with no encoder decoded without error")
+	}
+}
+
+func TestMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(&Model{}); err == nil {
+		t.Error("marshaling an unfitted model should error")
+	}
+	if err := (&Model{}).Validate(2); err == nil {
+		t.Error("validating an unfitted model should error")
+	}
+}

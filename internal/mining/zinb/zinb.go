@@ -256,11 +256,23 @@ func (m *Model) Predict(row []float64) float64 { return m.ExpectedCount(row) }
 // with the truncated Poisson tail: P(y > t) = P(y>0) · P(Pois(λ) > t) /
 // (1 - e^{-λ}).
 func (m *Model) ProbGreater(row []float64, t int) float64 {
-	pPosModel := m.ProbPositive(row)
+	return m.probGreaterX(m.enc.Transform(row, nil), t)
+}
+
+// probGreaterX is ProbGreater over an already-encoded design vector: both
+// linear predictors run on the same x, so columnar scoring transforms each
+// row once and stays bit-identical to the row-at-a-time path (Transform is
+// deterministic — one shared encode equals two repeated ones).
+func (m *Model) probGreaterX(x []float64, t int) float64 {
+	pPosModel := 1 / (1 + math.Exp(-linalg.Dot(m.hurdleW, x)))
 	if t < 0 {
 		return 1
 	}
-	lambda := m.Lambda(row)
+	eta := linalg.Dot(m.countW, x)
+	if eta > 8 {
+		eta = 8
+	}
+	lambda := math.Exp(eta)
 	pPos := -math.Expm1(-lambda)
 	if pPos < 1e-12 {
 		if t == 0 {

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/core"
+	"roadcrash/internal/roadnet"
+)
+
+// TestServeCountLearnersEndToEnd is the full acceptance path for the
+// version-2 learner kinds: a study exports a ZINB count model, an M5 model
+// tree and a neural network, the registry loads all three from disk, and
+// the server must (a) list them on /models with their kinds and training
+// schemas, (b) answer /score with exactly the risk an in-process decode of
+// the same artifact file computes over the same segment maps, and
+// (c) answer /score/stream with exactly the /score numbers.
+func TestServeCountLearnersEndToEnd(t *testing.T) {
+	study, err := core.NewStudy(core.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	exports := map[string]core.ExportOptions{
+		// The zinb hurdle needs phase 1's zero-crash rows; threshold 0
+		// serves P(count > 0), the most varied boundary.
+		"zinb":   {Phase: 1, Threshold: 0, Learner: "zinb"},
+		"m5":     {Phase: 2, Threshold: 8, Learner: "m5"},
+		"neural": {Phase: 2, Threshold: 8, Learner: "neural"},
+	}
+	arts := map[string]*artifact.Artifact{}
+	for learner, opt := range exports {
+		a, err := study.ExportArtifact(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", learner, err)
+		}
+		if err := artifact.WriteFile(filepath.Join(dir, a.Name+".json"), a); err != nil {
+			t.Fatal(err)
+		}
+		// Compare against a fresh decode of the persisted file, so the test
+		// covers the same bytes the server loads.
+		back, err := artifact.ReadFile(filepath.Join(dir, a.Name+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", learner, err)
+		}
+		arts[learner] = back
+	}
+
+	reg := NewRegistry()
+	names, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("loaded %v, want 3 models", names)
+	}
+	srv := httptest.NewServer(NewServer(reg))
+	t.Cleanup(srv.Close)
+
+	// /models must report every kind with its full training schema.
+	resp, err := http.Get(srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	byName := map[string]ModelInfo{}
+	for _, m := range list.Models {
+		byName[m.Name] = m
+	}
+	for learner, a := range arts {
+		mi, ok := byName[a.Name]
+		if !ok {
+			t.Fatalf("%s: model %q not listed: %+v", learner, a.Name, list.Models)
+		}
+		if mi.Kind != a.Kind || mi.Threshold != a.Threshold || mi.Target != a.Target {
+			t.Fatalf("%s: listed %+v, artifact header %q/%d/%q", learner, mi, a.Kind, a.Threshold, a.Target)
+		}
+		if len(mi.Schema) != len(a.Schema) {
+			t.Fatalf("%s: listed %d schema attrs, artifact has %d", learner, len(mi.Schema), len(a.Schema))
+		}
+		for j, name := range mi.Schema {
+			if a.Schema[j].Name != name {
+				t.Fatalf("%s: schema[%d] = %q, artifact says %q", learner, j, name, a.Schema[j].Name)
+			}
+		}
+	}
+
+	// Segment maps spanning the space: full rows, sparse rows, a missing
+	// nominal, an unseen level, and a boolean binary.
+	segments := []map[string]any{
+		{roadnet.AttrAADT: 3200.0, roadnet.AttrSurface: "asphalt", roadnet.AttrSealAge: 4.0, roadnet.AttrSpeedLimit: 100.0},
+		{roadnet.AttrAADT: 450.0, roadnet.AttrSurface: "spray-seal", roadnet.AttrSealAge: 18.5, roadnet.AttrRoughness: 3.4},
+		{roadnet.AttrAADT: 2100.0, roadnet.AttrSurface: "concrete", roadnet.AttrCurvature: 0.3},
+		{roadnet.AttrSealAge: 7.0, roadnet.AttrLanes: 2.0},
+		{roadnet.AttrAADT: 999.5, roadnet.AttrSurface: "unheard-of"},
+	}
+
+	for learner, a := range arts {
+		model, err := a.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapper, err := artifact.NewRowMapper(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, len(segments))
+		for i, seg := range segments {
+			row, err := mapper.MapValues(seg)
+			if err != nil {
+				t.Fatalf("%s segment %d: %v", learner, i, err)
+			}
+			want[i] = model.PredictProb(row)
+		}
+
+		resp, body := postScore(t, srv.URL, ScoreRequest{Model: a.Name, Segments: segments})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", learner, resp.StatusCode, body)
+		}
+		var sr ScoreResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("%s: bad response %s: %v", learner, body, err)
+		}
+		if sr.Kind != a.Kind || len(sr.Scores) != len(segments) {
+			t.Fatalf("%s: response = %+v", learner, sr)
+		}
+		for i, s := range sr.Scores {
+			if s.Risk != want[i] {
+				t.Errorf("%s segment %d: served %v, in-process %v", learner, i, s.Risk, want[i])
+			}
+			if s.CrashProne != (want[i] >= 0.5) {
+				t.Errorf("%s segment %d: crash_prone flag inconsistent", learner, i)
+			}
+		}
+
+		// The streaming path must serve the exact batch numbers.
+		var lines strings.Builder
+		for _, seg := range segments {
+			b, err := json.Marshal(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&lines, "%s\n", b)
+		}
+		sresp, scores, trailer := postStream(t, srv.URL, a.Name, lines.String())
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: stream status %d", learner, sresp.StatusCode)
+		}
+		if !trailer.Done || trailer.Rows != len(segments) || trailer.Error != "" {
+			t.Fatalf("%s: trailer = %+v", learner, trailer)
+		}
+		if len(scores) != len(segments) {
+			t.Fatalf("%s: streamed %d scores, want %d", learner, len(scores), len(segments))
+		}
+		for i, s := range scores {
+			if s.Risk != want[i] {
+				t.Errorf("%s stream row %d: served %v, in-process %v", learner, i, s.Risk, want[i])
+			}
+		}
+	}
+}
