@@ -533,6 +533,13 @@ func cmdServe(args []string) error {
 	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 429 rejections, rounded up to seconds (0 = default 1s)")
 	drain := fs.Duration("drain", 30*time.Second, "in-flight drain window on shutdown")
 	reload := fs.Bool("reload", false, "enable POST /reload to hot-swap the model set from -dir")
+	feedbackWindow := fs.Int("feedback-window", 0, "served scores kept per model for the POST /feedback label join (0 disables the feedback loop)")
+	rollingWindow := fs.Int("rolling-window", 0, "joined labels per rolling online-metric window (0 = default 256)")
+	minFeedback := fs.Int("min-feedback", 0, "joined labels before a version's drift baseline pins (0 = default 50)")
+	driftFire := fs.Float64("drift-fire", 0, "drift alarm fires at windowed Brier >= baseline*this (0 = default 1.5)")
+	driftClear := fs.Float64("drift-clear", 0, "drift alarm clears at windowed Brier <= baseline*this (0 = default 1.15)")
+	promoteMargin := fs.Float64("promote-margin", 0, "relative windowed-Brier improvement a shadow candidate needs to promote (0 = default 0.05)")
+	autoPromote := fs.Bool("auto-promote", false, "run the promotion gate after every feedback ingest (requires -feedback-window and -reload)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -541,6 +548,9 @@ func cmdServe(args []string) error {
 	}
 	if *reload && *dir == "" {
 		return fmt.Errorf("serve: -reload requires -dir")
+	}
+	if *autoPromote && (*feedbackWindow <= 0 || !*reload) {
+		return fmt.Errorf("serve: -auto-promote requires -feedback-window and -reload")
 	}
 	reg := serve.NewRegistry()
 	if *dir != "" {
@@ -563,6 +573,13 @@ func cmdServe(args []string) error {
 		RequestTimeout: *timeout,
 		StreamTimeout:  *streamTimeout,
 		RetryAfter:     *retryAfter,
+		FeedbackWindow: *feedbackWindow,
+		RollingWindow:  *rollingWindow,
+		MinFeedback:    *minFeedback,
+		DriftFire:      *driftFire,
+		DriftClear:     *driftClear,
+		PromoteMargin:  *promoteMargin,
+		AutoPromote:    *autoPromote,
 	}
 	if *reload {
 		cfg.ReloadDir = *dir
@@ -683,6 +700,11 @@ func cmdLoadgen(args []string) error {
 	weather := fs.String("weather", "mixed", "weather regime of the traffic: mixed, wet or dry")
 	retry := fs.Bool("retry", false, "retry 429s and transport errors, honoring Retry-After")
 	retryAttempts := fs.Int("retry-attempts", 0, "max retries per request with -retry (0 = default 4)")
+	feedback := fs.Bool("feedback", false, "POST delayed ground-truth labels to /feedback (service must run with -feedback-window)")
+	feedbackLag := fs.Int("feedback-lag", 0, "scored batches a worker waits before sending a batch's labels (0 = default 2)")
+	labelThreshold := fs.Int("label-threshold", 0, "crash-count threshold labels are derived with (0 = the model's training threshold)")
+	driftAfterRow := fs.Int("drift-after-row", 0, "per-worker stream row at which concept drift sets in (with -drift-shift)")
+	driftShift := fs.Float64("drift-shift", 0, "additive log-scale risk shift injected after -drift-after-row (0 disables drift)")
 	out := fs.String("out", "", "JSON report path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -696,17 +718,22 @@ func cmdLoadgen(args []string) error {
 		return err
 	}
 	opt := loadgen.Options{
-		Targets:       splitList(*addr),
-		Model:         *model,
-		Mode:          m,
-		Concurrency:   *concurrency,
-		Duration:      *duration,
-		BatchRows:     *batchRows,
-		StreamRows:    *streamRows,
-		Seed:          *seed,
-		Weather:       w,
-		Retry:         *retry,
-		RetryAttempts: *retryAttempts,
+		Targets:        splitList(*addr),
+		Model:          *model,
+		Mode:           m,
+		Concurrency:    *concurrency,
+		Duration:       *duration,
+		BatchRows:      *batchRows,
+		StreamRows:     *streamRows,
+		Seed:           *seed,
+		Weather:        w,
+		Retry:          *retry,
+		RetryAttempts:  *retryAttempts,
+		Feedback:       *feedback,
+		FeedbackLag:    *feedbackLag,
+		LabelThreshold: *labelThreshold,
+		DriftAfterRow:  *driftAfterRow,
+		DriftRiskShift: *driftShift,
 	}
 	// Ctrl-C ends the run early; the report covers what completed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

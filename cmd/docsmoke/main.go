@@ -315,8 +315,9 @@ func probeModels(port string) error {
 
 // startReplicas boots one scoring replica per port (serving the
 // prologue's models directory) and returns a stopper. Each replica is
-// health-checked before the documented command under test runs.
-func startReplicas(bin, dir string, ports []string) (func(), error) {
+// health-checked before the documented command under test runs. extra
+// appends serve flags every replica needs (e.g. the feedback loop).
+func startReplicas(bin, dir string, ports []string, extra ...string) (func(), error) {
 	var stops []func()
 	stop := func() {
 		for _, s := range stops {
@@ -324,7 +325,8 @@ func startReplicas(bin, dir string, ports []string) (func(), error) {
 		}
 	}
 	for _, port := range ports {
-		srv := exec.Command(bin, "serve", "-dir", "models", "-addr", port)
+		args := append([]string{"serve", "-dir", "models", "-addr", port}, extra...)
+		srv := exec.Command(bin, args...)
 		srv.Dir = dir
 		srv.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 		if err := srv.Start(); err != nil {
@@ -401,7 +403,13 @@ func smokeFaultproxy(bin, cmd, dir string) error {
 // documented load-test workflows — single service or a whole fleet — are
 // exercised end to end at small scale.
 func smokeLoadgen(bin, cmd, dir string, targets []string) error {
-	stop, err := startReplicas(bin, dir, targets)
+	// A documented feedback run needs the label-ingestion loop enabled on
+	// the backing server, or every /feedback POST would 404.
+	var extra []string
+	if strings.Contains(cmd, "-feedback") {
+		extra = []string{"-reload", "-feedback-window", "4096"}
+	}
+	stop, err := startReplicas(bin, dir, targets, extra...)
 	if err != nil {
 		return err
 	}

@@ -85,6 +85,24 @@ type Options struct {
 	Seed uint64
 	// Weather selects the scenario regime of the generated rows.
 	Weather roadnet.Weather
+	// Feedback opts the run into the label loop: scoring payloads carry
+	// the segment_id column and, FeedbackLag requests after a batch is
+	// scored, its ground-truth labels (crash_count > threshold) are
+	// POSTed to /feedback — delayed labels, as production sees them. The
+	// target must serve with the feedback loop enabled.
+	Feedback bool
+	// FeedbackLag is how many scoring requests a worker completes before
+	// it sends a scored batch's labels (default 2).
+	FeedbackLag int
+	// LabelThreshold is the crash-count threshold labels are derived
+	// with; 0 takes the model's own training threshold from /models.
+	LabelThreshold int
+	// DriftAfterRow/DriftRiskShift inject concept drift into each
+	// worker's scenario stream from the given per-stream row on (see
+	// roadnet.ScenarioOptions) — the workload that should trip the
+	// server's drift alarm when labels flow back.
+	DriftAfterRow  int
+	DriftRiskShift float64
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +132,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 20110322
+	}
+	if o.Feedback && o.FeedbackLag <= 0 {
+		o.FeedbackLag = 2
 	}
 	return o
 }
@@ -157,6 +178,10 @@ type Report struct {
 	DurationSeconds float64         `json:"duration_seconds"`
 	Batch           *EndpointReport `json:"score,omitempty"`
 	Stream          *EndpointReport `json:"score_stream,omitempty"`
+	// Feedback aggregates the delayed-label POST /feedback requests of a
+	// feedback-enabled run; its RowsScored counts labels the server
+	// matched to recorded scores.
+	Feedback        *EndpointReport `json:"feedback,omitempty"`
 	TotalRows       int64           `json:"total_rows_scored"`
 	TotalRowsPerSec float64         `json:"total_rows_per_second"`
 	// StreamToBatchRatio is stream rows/s over batch rows/s — the number
@@ -168,7 +193,7 @@ type Report struct {
 
 // sample is one completed request.
 type sample struct {
-	endpoint string // "score" or "stream"
+	endpoint string // "score", "stream" or "feedback"
 	status   string // HTTP status code, "transport" or "truncated"
 	latency  time.Duration
 	rows     int64
@@ -191,9 +216,18 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 	if len(opt.Targets) == 0 {
 		return nil, fmt.Errorf("loadgen: at least one target URL is required")
 	}
-	model, sendNames, err := resolveModel(ctx, opt.Targets[0], opt.Model)
+	model, sendNames, threshold, err := resolveModel(ctx, opt.Targets[0], opt.Model)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Feedback {
+		// Scoring payloads must carry the join key even when the model's
+		// schema does not train on it; the server's feedback parser accepts
+		// the extra column.
+		sendNames[roadnet.AttrSegmentID] = true
+		if opt.LabelThreshold > 0 {
+			threshold = opt.LabelThreshold
+		}
 	}
 
 	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
@@ -208,7 +242,7 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			worker(runCtx, opt, model, sendNames, w, func(s sample) {
+			worker(runCtx, opt, model, sendNames, threshold, w, func(s sample) {
 				if s.aborted {
 					return
 				}
@@ -234,6 +268,9 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 	if opt.Mode == ModeStream || opt.Mode == ModeMixed {
 		rep.Stream = summarize(samples, "stream", elapsed)
 	}
+	if opt.Feedback {
+		rep.Feedback = summarize(samples, "feedback", elapsed)
+	}
 	for _, er := range []*EndpointReport{rep.Batch, rep.Stream} {
 		if er != nil {
 			rep.TotalRows += er.RowsScored
@@ -249,33 +286,36 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 }
 
 // resolveModel asks GET /models for the target model's schema and returns
-// the model name plus the attribute names a scoring payload may carry
-// (the training schema minus the target, which clients never send).
-func resolveModel(ctx context.Context, baseURL, want string) (string, map[string]bool, error) {
+// the model name, the attribute names a scoring payload may carry (the
+// training schema minus the target, which clients never send) and the
+// model's training crash-count threshold — the default labeling rule for
+// feedback runs.
+func resolveModel(ctx context.Context, baseURL, want string) (string, map[string]bool, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/models", nil)
 	if err != nil {
-		return "", nil, fmt.Errorf("loadgen: %w", err)
+		return "", nil, 0, fmt.Errorf("loadgen: %w", err)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return "", nil, fmt.Errorf("loadgen: interrogating %s/models: %w", baseURL, err)
+		return "", nil, 0, fmt.Errorf("loadgen: interrogating %s/models: %w", baseURL, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", nil, fmt.Errorf("loadgen: GET /models returned %d", resp.StatusCode)
+		return "", nil, 0, fmt.Errorf("loadgen: GET /models returned %d", resp.StatusCode)
 	}
 	var list struct {
 		Models []struct {
-			Name   string   `json:"name"`
-			Schema []string `json:"schema"`
-			Target string   `json:"target"`
+			Name      string   `json:"name"`
+			Schema    []string `json:"schema"`
+			Target    string   `json:"target"`
+			Threshold int      `json:"threshold"`
 		} `json:"models"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-		return "", nil, fmt.Errorf("loadgen: decoding /models: %w", err)
+		return "", nil, 0, fmt.Errorf("loadgen: decoding /models: %w", err)
 	}
 	if len(list.Models) == 0 {
-		return "", nil, fmt.Errorf("loadgen: service has no models")
+		return "", nil, 0, fmt.Errorf("loadgen: service has no models")
 	}
 	for _, m := range list.Models {
 		if want != "" && m.Name != want {
@@ -287,9 +327,9 @@ func resolveModel(ctx context.Context, baseURL, want string) (string, map[string
 				send[name] = true
 			}
 		}
-		return m.Name, send, nil
+		return m.Name, send, m.Threshold, nil
 	}
-	return "", nil, fmt.Errorf("loadgen: service does not serve model %q", want)
+	return "", nil, 0, fmt.Errorf("loadgen: service does not serve model %q", want)
 }
 
 // worker issues requests until the context expires. Each worker owns
@@ -298,13 +338,15 @@ func resolveModel(ctx context.Context, baseURL, want string) (string, map[string
 // reproducible for a given option set. With several targets, worker i
 // drives Targets[i mod len] for the whole run, spreading concurrency
 // evenly over the fleet.
-func worker(ctx context.Context, opt Options, model string, sendNames map[string]bool, id int, record func(sample)) {
+func worker(ctx context.Context, opt Options, model string, sendNames map[string]bool, threshold, id int, record func(sample)) {
 	target := opt.Targets[id%len(opt.Targets)]
 	mkStream := func(chunk int, seedOffset uint64) *roadnet.ScenarioStream {
 		scn := roadnet.DefaultScenarioOptions(math.MaxInt / 2)
 		scn.ChunkSize = chunk
 		scn.Seed = opt.Seed + seedOffset
 		scn.Weather = opt.Weather
+		scn.DriftAfterRow = opt.DriftAfterRow
+		scn.DriftRiskShift = opt.DriftRiskShift
 		stream, err := roadnet.NewScenarioStream(scn)
 		if err != nil {
 			// Options are validated by withDefaults; a failure here is a bug.
@@ -323,6 +365,14 @@ func worker(ctx context.Context, opt Options, model string, sendNames map[string
 		streamSrc = mkStream(opt.StreamRows, 2*uint64(id)+1)
 		include = includeColumns(streamSrc.Attrs(), sendNames)
 	}
+	var fb *feedbackSender
+	if opt.Feedback {
+		attrs := batchSrc
+		if attrs == nil {
+			attrs = streamSrc
+		}
+		fb = newFeedbackSender(attrs.Attrs(), model, target, threshold, opt.FeedbackLag)
+	}
 
 	for i := 0; ; i++ {
 		select {
@@ -331,24 +381,166 @@ func worker(ctx context.Context, opt Options, model string, sendNames map[string
 		default:
 		}
 		useStream := opt.Mode == ModeStream || (opt.Mode == ModeMixed && (id+i)%2 == 1)
+		var s sample
+		var labels []labelPair
 		if useStream {
 			b, err := streamSrc.Next()
 			if err != nil {
 				panic(fmt.Sprintf("loadgen: scenario stream failed: %v", err))
 			}
-			record(withRetry(ctx, opt, func() (sample, time.Duration) {
+			if fb != nil {
+				labels = fb.labels(b)
+			}
+			s = withRetry(ctx, opt, func() (sample, time.Duration) {
 				return streamRequest(ctx, target, model, b, include)
-			}))
+			})
 		} else {
 			b, err := batchSrc.Next()
 			if err != nil {
 				panic(fmt.Sprintf("loadgen: scenario stream failed: %v", err))
 			}
-			record(withRetry(ctx, opt, func() (sample, time.Duration) {
+			if fb != nil {
+				labels = fb.labels(b)
+			}
+			s = withRetry(ctx, opt, func() (sample, time.Duration) {
 				return bc.do(ctx, target, model, b, include)
-			}))
+			})
+		}
+		record(s)
+		// Only successfully scored batches feed labels back: the server never
+		// recorded scores for a failed request, so its labels could only land
+		// unmatched.
+		if fb != nil && s.ok {
+			fb.push(ctx, labels, record)
 		}
 	}
+	// Labels still queued when the run ends stay unsent — delayed labels
+	// legitimately outlive the traffic that earned them.
+}
+
+// labelPair is one segment's delayed ground-truth outcome.
+type labelPair struct {
+	id int64
+	y  bool
+}
+
+// feedbackSender derives ground-truth labels from the scenario batches a
+// worker scores and POSTs them to /feedback after a configurable lag, so
+// the server sees the delayed-label join its window exists for. One
+// sender per worker; not safe for concurrent use.
+type feedbackSender struct {
+	model     string
+	target    string
+	threshold int
+	lag       int
+	segCol    int
+	countCol  int
+	queue     [][]labelPair
+	body      []byte
+}
+
+func newFeedbackSender(attrs []data.Attribute, model, target string, threshold, lag int) *feedbackSender {
+	fs := &feedbackSender{
+		model: model, target: target, threshold: threshold, lag: lag,
+		segCol: -1, countCol: -1,
+	}
+	for j, at := range attrs {
+		switch at.Name {
+		case roadnet.AttrSegmentID:
+			fs.segCol = j
+		case roadnet.CrashCountAttr:
+			fs.countCol = j
+		}
+	}
+	return fs
+}
+
+// labels extracts this batch's (segment id, crash_prone) pairs before the
+// batch buffer is recycled by the stream's next chunk. A scenario batch
+// carries one row per segment-year, all year-rows of a segment sharing
+// one observation-window crash count — so each segment yields exactly one
+// label (year-rows are consecutive, making the dedupe a previous-id
+// check).
+func (fs *feedbackSender) labels(b *data.Batch) []labelPair {
+	if fs.segCol < 0 || fs.countCol < 0 {
+		return nil
+	}
+	labels := make([]labelPair, 0, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		id, count := b.At(i, fs.segCol), b.At(i, fs.countCol)
+		if data.IsMissing(id) || data.IsMissing(count) {
+			continue
+		}
+		if n := len(labels); n > 0 && labels[n-1].id == int64(id) {
+			continue
+		}
+		labels = append(labels, labelPair{id: int64(id), y: count > float64(fs.threshold)})
+	}
+	return labels
+}
+
+// push queues one scored batch's labels and, once the queue is deeper
+// than the configured lag, sends the oldest batch to /feedback.
+func (fs *feedbackSender) push(ctx context.Context, labels []labelPair, record func(sample)) {
+	if labels == nil {
+		return
+	}
+	fs.queue = append(fs.queue, labels)
+	for len(fs.queue) > fs.lag {
+		due := fs.queue[0]
+		fs.queue = fs.queue[1:]
+		record(fs.send(ctx, due))
+	}
+}
+
+// send POSTs one label batch and reads the ingest outcome; matched labels
+// count as the sample's rows.
+func (fs *feedbackSender) send(ctx context.Context, labels []labelPair) sample {
+	body := fs.body[:0]
+	body = append(body, `{"model":`...)
+	body = data.AppendJSONString(body, fs.model)
+	body = append(body, `,"labels":[`...)
+	for i, lp := range labels {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = append(body, `{"segment_id":`...)
+		body = strconv.AppendInt(body, lp.id, 10)
+		body = append(body, `,"crash_prone":`...)
+		body = strconv.AppendBool(body, lp.y)
+		body = append(body, '}')
+	}
+	body = append(body, `]}`...)
+	fs.body = body
+
+	start := time.Now()
+	resp, err := post(ctx, fs.target+"/feedback", "application/json", body)
+	s := sample{endpoint: "feedback", status: "transport"}
+	if err != nil {
+		s.latency = time.Since(start)
+		s.aborted = ctx.Err() != nil
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = strconv.Itoa(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.latency = time.Since(start)
+		return s
+	}
+	var out struct {
+		Outcomes map[string]int `json:"outcomes"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	s.latency = time.Since(start)
+	if err != nil {
+		s.status = "truncated"
+		s.aborted = ctx.Err() != nil
+		return s
+	}
+	s.rows = int64(out.Outcomes["matched"])
+	s.ok = true
+	return s
 }
 
 // retryable reports whether a failed request is worth retrying: a 429

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -16,6 +18,8 @@ import (
 
 	"roadcrash/internal/artifact"
 	"roadcrash/internal/core"
+	"roadcrash/internal/data"
+	"roadcrash/internal/roadnet"
 	"roadcrash/internal/serve"
 )
 
@@ -133,6 +137,186 @@ func TestRunZINBCountWorkload(t *testing.T) {
 			t.Fatalf("%s: %d errors against a healthy zinb service: %v", name, er.Errors, er.StatusCounts)
 		}
 	}
+}
+
+// TestRunFeedbackLoop drives a feedback-enabled service with the label
+// loop on: scoring payloads carry segment_id, labels trail the traffic by
+// the configured lag, and every label must land matched — the server
+// joins it to a score it recorded moments earlier. Scenario rows never
+// lose their segment_id or crash_count to missing-value injection, so the
+// matched count is exact, not approximate.
+func TestRunFeedbackLoop(t *testing.T) {
+	srv := newService(t, serve.Config{FeedbackWindow: 4096})
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        ModeBatch,
+		Concurrency: 1,
+		Duration:    500 * time.Millisecond,
+		BatchRows:   32,
+		Feedback:    true,
+		FeedbackLag: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batch.Errors != 0 {
+		t.Fatalf("scoring errors in a feedback run: %v", rep.Batch.StatusCounts)
+	}
+	fb := rep.Feedback
+	if fb == nil || fb.Requests == 0 {
+		t.Fatalf("no feedback traffic recorded: %+v", rep)
+	}
+	if fb.Errors != 0 {
+		t.Fatalf("feedback errors against a healthy service: %v", fb.StatusCounts)
+	}
+	// Concurrency 1 and a lag of one batch: every label batch is complete
+	// — one label per segment, 8 segments per 32-row batch (4 year-rows
+	// each) — and arrives while its scores are still in the join window,
+	// so the server must match every label.
+	if want := 8 * int64(fb.Requests); fb.RowsScored != want {
+		t.Fatalf("matched %d labels over %d feedback requests, want all %d", fb.RowsScored, fb.Requests, want)
+	}
+	// The online metrics the labels feed must be live on /metrics.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"crashprone_feedback_labels_total", "crashprone_online_brier", "crashprone_online_brier_window"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics lacks %s after a feedback run", want)
+		}
+	}
+}
+
+// TestRunFeedbackOffByDefault pins that a plain run neither sends labels
+// nor reports a feedback endpoint.
+func TestRunFeedbackOffByDefault(t *testing.T) {
+	srv := newService(t, serve.Config{})
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        ModeBatch,
+		Concurrency: 1,
+		Duration:    200 * time.Millisecond,
+		BatchRows:   16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feedback != nil {
+		t.Fatalf("non-feedback run reported a feedback endpoint: %+v", rep.Feedback)
+	}
+}
+
+// TestRunFeedbackStreamMode pins that the delayed-label loop also rides
+// the streaming endpoint's traffic, with an explicit -label-threshold
+// override and injected drift.
+func TestRunFeedbackStreamMode(t *testing.T) {
+	srv := newService(t, serve.Config{FeedbackWindow: 4096})
+	rep, err := Run(context.Background(), Options{
+		BaseURL:        srv.URL,
+		Mode:           ModeStream,
+		Concurrency:    1,
+		Duration:       400 * time.Millisecond,
+		StreamRows:     64,
+		Feedback:       true,
+		FeedbackLag:    1,
+		LabelThreshold: 3,
+		DriftRiskShift: 2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stream == nil || rep.Stream.Errors != 0 {
+		t.Fatalf("streaming errors in a feedback run: %+v", rep.Stream)
+	}
+	fb := rep.Feedback
+	if fb == nil || fb.Requests == 0 || fb.Errors != 0 {
+		t.Fatalf("feedback traffic broken: %+v", fb)
+	}
+	if want := 16 * int64(fb.Requests); fb.RowsScored != want {
+		t.Fatalf("matched %d labels over %d feedback requests, want all %d", fb.RowsScored, fb.Requests, want)
+	}
+}
+
+// TestRunFeedbackErrorAccounting pins the failure accounting: when only
+// the label path is down (a proxy answers 503 on /feedback while scoring
+// proxies through), every label POST is recorded as a hard feedback error
+// with its status, no labels count as matched, and the scoring side stays
+// clean.
+func TestRunFeedbackErrorAccounting(t *testing.T) {
+	srv := newService(t, serve.Config{FeedbackWindow: 4096})
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"label store down"}`, http.StatusServiceUnavailable)
+	})
+	mux.Handle("/", httputil.NewSingleHostReverseProxy(u))
+	front := httptest.NewServer(mux)
+	defer front.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     front.URL,
+		Mode:        ModeBatch,
+		Concurrency: 1,
+		Duration:    300 * time.Millisecond,
+		BatchRows:   16,
+		Feedback:    true,
+		FeedbackLag: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batch.Errors != 0 {
+		t.Fatalf("scoring must not fail when only /feedback is down: %v", rep.Batch.StatusCounts)
+	}
+	fb := rep.Feedback
+	if fb == nil || fb.Requests == 0 {
+		t.Fatalf("no feedback attempts recorded: %+v", rep)
+	}
+	if fb.Errors != fb.Requests || fb.StatusCounts["503"] != fb.Requests {
+		t.Fatalf("want every feedback POST recorded as a 503 error, got %+v", fb)
+	}
+	if fb.RowsScored != 0 {
+		t.Fatalf("labels matched through a dead label path: %d", fb.RowsScored)
+	}
+}
+
+// TestFeedbackSenderLabels pins the label-derivation rules directly:
+// year-row dedupe, missing-value skips, threshold comparison and the
+// no-bookkeeping-columns degenerate case.
+func TestFeedbackSenderLabels(t *testing.T) {
+	attrs := []data.Attribute{
+		{Name: roadnet.AttrSegmentID, Kind: data.Interval},
+		{Name: "aadt", Kind: data.Interval},
+		{Name: roadnet.CrashCountAttr, Kind: data.Interval},
+	}
+	fs := newFeedbackSender(attrs, "m", "http://unused", 8, 1)
+	b := data.NewBatch(attrs, 8)
+	b.AppendRow([]float64{1, 100, 12})            // crash-prone
+	b.AppendRow([]float64{1, 100, 12})            // same segment, next year: deduped
+	b.AppendRow([]float64{2, 100, 3})             // below threshold
+	b.AppendRow([]float64{3, 100, data.Missing})  // unlabeled count: skipped
+	b.AppendRow([]float64{data.Missing, 100, 12}) // unidentifiable row: skipped
+	got := fs.labels(b)
+	want := []labelPair{{id: 1, y: true}, {id: 2, y: false}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("labels = %+v, want %+v", got, want)
+	}
+
+	// A schema without the bookkeeping columns yields no labels, and
+	// pushing the nil result is a no-op rather than an empty POST.
+	bare := newFeedbackSender(attrs[1:2], "m", "http://unused", 8, 1)
+	if l := bare.labels(b); l != nil {
+		t.Fatalf("labels without bookkeeping columns = %+v, want nil", l)
+	}
+	bare.push(context.Background(), nil, func(sample) {
+		t.Fatal("nil label batch must not be sent")
+	})
 }
 
 // TestRunCounts429 pins the capacity-experiment path: with the server's

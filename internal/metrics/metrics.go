@@ -53,15 +53,100 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an instantaneous float64 value (windowed error means,
+// drift baselines). The zero value is ready to use and reads as 0.
+type FloatGauge struct {
+	bits atomic.Uint64 // math.Float64bits of the value
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Rolling is a fixed-size window over the most recent observations,
+// backing windowed online metrics (rolling Brier score, log-loss). Add
+// overwrites the oldest sample once the window is full; Mean recomputes
+// from the live samples so one outlier ages out exactly when it leaves
+// the window. Non-finite values are ignored, mirroring Histogram.Observe.
+// All methods are safe for concurrent use.
+type Rolling struct {
+	mu      sync.Mutex
+	samples []float64
+	next    int
+	filled  bool
+	total   uint64
+}
+
+// NewRolling builds a window holding the last size observations
+// (size must be positive).
+func NewRolling(size int) *Rolling {
+	if size <= 0 {
+		panic(fmt.Sprintf("metrics: rolling window size %d", size))
+	}
+	return &Rolling{samples: make([]float64, 0, size)}
+}
+
+// Add records one observation, evicting the oldest when full. Non-finite
+// values are dropped.
+func (r *Rolling) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, v)
+		return
+	}
+	r.filled = true
+	r.samples[r.next] = v
+	r.next = (r.next + 1) % len(r.samples)
+}
+
+// Count returns how many observations are currently in the window.
+func (r *Rolling) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Total returns how many observations were ever recorded, including ones
+// that have aged out of the window.
+func (r *Rolling) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Mean returns the mean of the samples in the window, or NaN when empty
+// so callers cannot mistake "no data" for "perfect score".
+func (r *Rolling) Mean() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum / float64(len(r.samples))
+}
+
 // Histogram counts observations into fixed buckets. Buckets are upper
 // bounds in ascending order; an implicit +Inf bucket catches the rest.
-// Observe is wait-free: a binary search plus two atomic adds (the sum is
-// accumulated as integer nanounits to stay a single atomic op).
+// Observe is lock-free: a binary search, two atomic adds and a CAS loop
+// folding the value into a float64 sum stored as raw bits. Non-finite
+// observations (NaN, ±Inf) are dropped entirely — one NaN would
+// otherwise poison the exported sum forever.
 type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Uint64 // len(bounds)+1, non-cumulative; last is +Inf
 	count   atomic.Uint64
-	sumNano atomic.Int64 // sum in 1e-9 units; exact enough for latency seconds
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
 }
 
 // DefBuckets spans 100µs to 10s — the useful range for request latency in
@@ -88,19 +173,37 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values are ignored: NaN has no
+// meaningful bucket (SearchFloat64s would route it to +Inf) and
+// converting it to an integer is implementation-defined, so recording it
+// would corrupt both the overflow bucket and the sum.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	h.sumNano.Add(int64(math.Round(v * 1e9)))
+	addFloat(&h.sumBits, v)
+}
+
+// addFloat folds v into a float64 accumulator stored as raw bits,
+// retrying the CAS until no concurrent writer interleaves.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of observed values.
-func (h *Histogram) Sum() float64 { return float64(h.sumNano.Load()) / 1e9 }
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 // Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
 // inside the bucket holding it. It returns 0 for an empty histogram and
@@ -144,11 +247,13 @@ type metric struct {
 	// Exactly one of the following sets is populated.
 	counter *Counter
 	gauge   *Gauge
+	fgauge  *FloatGauge
 	hist    *Histogram
 
 	labels []string // label keys of the vecs below
 	cvec   *CounterVec
 	gvec   *GaugeVec
+	fgvec  *FloatGaugeVec
 	hvec   *HistogramVec
 }
 
@@ -187,6 +292,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatGauge registers and returns an unlabeled float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.add(&metric{name: name, help: help, typ: "gauge", fgauge: g})
+	return g
+}
+
 // Histogram registers and returns an unlabeled histogram (nil bounds
 // selects DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -208,6 +320,14 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	v := &GaugeVec{series: make(map[string]*Gauge), width: len(labels)}
 	r.add(&metric{name: name, help: help, typ: "gauge", labels: labels, gvec: v})
+	return v
+}
+
+// FloatGaugeVec registers a float-gauge family fanned out over the given
+// label keys (per-model windowed error means, drift baselines).
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) *FloatGaugeVec {
+	v := &FloatGaugeVec{series: make(map[string]*FloatGauge), width: len(labels)}
+	r.add(&metric{name: name, help: help, typ: "gauge", labels: labels, fgvec: v})
 	return v
 }
 
@@ -294,6 +414,35 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return g
 }
 
+// FloatGaugeVec is a float-gauge family keyed by label values.
+type FloatGaugeVec struct {
+	mu     sync.RWMutex
+	width  int
+	series map[string]*FloatGauge
+}
+
+// With returns the float gauge for the given label values, creating it on
+// first use. The fast path for an existing series is a read lock.
+func (v *FloatGaugeVec) With(values ...string) *FloatGauge {
+	if len(values) != v.width {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), v.width))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	g, ok := v.series[k]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.series[k]; !ok {
+		g = &FloatGauge{}
+		v.series[k] = g
+	}
+	return g
+}
+
 // HistogramVec is a histogram family keyed by label values.
 type HistogramVec struct {
 	mu     sync.RWMutex
@@ -337,6 +486,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
 		case m.gauge != nil:
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
+		case m.fgauge != nil:
+			fmt.Fprintf(&b, "%s %g\n", m.name, m.fgauge.Value())
 		case m.hist != nil:
 			writeHistogram(&b, m.name, "", m.hist)
 		case m.cvec != nil:
@@ -351,6 +502,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s{%s} %d\n", m.name, renderLabels(m.labels, k), m.gvec.series[k].Value())
 			}
 			m.gvec.mu.RUnlock()
+		case m.fgvec != nil:
+			m.fgvec.mu.RLock()
+			for _, k := range sortedKeys(m.fgvec.series) {
+				fmt.Fprintf(&b, "%s{%s} %g\n", m.name, renderLabels(m.labels, k), m.fgvec.series[k].Value())
+			}
+			m.fgvec.mu.RUnlock()
 		case m.hvec != nil:
 			m.hvec.mu.RLock()
 			for _, k := range sortedKeys(m.hvec.series) {

@@ -257,6 +257,208 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+// TestObserveNonFiniteIgnored is the regression test for the NaN
+// corruption bug: Observe(NaN) used to land in the +Inf bucket (via
+// sort.SearchFloat64s) and add int64(math.Round(NaN)) — min-int64 on
+// amd64 — to the running sum, wrecking the exported _sum forever. A
+// non-finite observation must now leave the histogram untouched.
+func TestObserveNonFiniteIgnored(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h.Observe(v)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("count after non-finite observations = %d, want 0", h.Count())
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("sum after non-finite observations = %v, want 0", got)
+	}
+	if n := h.counts[len(h.bounds)].Load(); n != 0 {
+		t.Fatalf("+Inf bucket = %d, want 0", n)
+	}
+	// And valid observations after the garbage still record cleanly.
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(1.5)
+	if h.Count() != 2 || h.Sum() != 2 {
+		t.Fatalf("count=%d sum=%v after mixed observations, want 2 and 2", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramSumPrecision pins the two failure modes of the old
+// int64-nanosecond sum: values below 1e-9 quantized to zero, and totals
+// past ~9.2e9 overflowed. The float64-bits sum must handle both — the
+// new Brier/log-loss histograms observe values in [0,1] where 1e-10
+// residuals are meaningful.
+func TestHistogramSumPrecision(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	for i := 0; i < 1000; i++ {
+		h.Observe(2.5e-10) // quantized to 0 by the nano sum
+	}
+	if got, want := h.Sum(), 2.5e-7; math.Abs(got-want) > 1e-18 {
+		t.Fatalf("tiny-value sum = %v, want %v", got, want)
+	}
+	h2 := NewHistogram([]float64{1e12})
+	h2.Observe(6e9)
+	h2.Observe(6e9) // total 1.2e10: past the old int64-nano ceiling of ~9.2e9
+	if got := h2.Sum(); got != 1.2e10 {
+		t.Fatalf("large-value sum = %v, want 1.2e10", got)
+	}
+}
+
+// TestHistogramConcurrentSum hammers the CAS-loop float sum: with an
+// exactly-representable increment the concurrent total must be exact,
+// not merely approximate.
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Sum(), 0.25*goroutines*iters; got != want {
+		t.Fatalf("concurrent sum = %v, want %v", got, want)
+	}
+}
+
+// TestLatencyExpositionBytePinned locks the full Prometheus rendering of
+// a latency histogram byte-for-byte, so the switch from the
+// int64-nanosecond sum to the float64-bits sum provably cannot move any
+// already-exported latency series. Observation values are chosen
+// exactly representable in both schemes.
+func TestLatencyExpositionBytePinned(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_latency_seconds", "Request latency.", []float64{0.25, 0.5, 1})
+	h.Observe(0.125)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP req_latency_seconds Request latency.\n" +
+		"# TYPE req_latency_seconds histogram\n" +
+		"req_latency_seconds_bucket{le=\"0.25\"} 1\n" +
+		"req_latency_seconds_bucket{le=\"0.5\"} 2\n" +
+		"req_latency_seconds_bucket{le=\"1\"} 2\n" +
+		"req_latency_seconds_bucket{le=\"+Inf\"} 3\n" +
+		"req_latency_seconds_sum 2.625\n" +
+		"req_latency_seconds_count 3\n"
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRolling(t *testing.T) {
+	r := NewRolling(4)
+	if !math.IsNaN(r.Mean()) {
+		t.Fatalf("empty window mean = %v, want NaN", r.Mean())
+	}
+	r.Add(1)
+	r.Add(math.NaN())   // ignored
+	r.Add(math.Inf(1))  // ignored
+	r.Add(math.Inf(-1)) // ignored
+	r.Add(3)
+	if r.Count() != 2 || r.Mean() != 2 {
+		t.Fatalf("count=%d mean=%v, want 2 and 2", r.Count(), r.Mean())
+	}
+	r.Add(5)
+	r.Add(7) // window full: 1,3,5,7
+	if r.Mean() != 4 {
+		t.Fatalf("full-window mean = %v, want 4", r.Mean())
+	}
+	r.Add(9) // evicts 1: 3,5,7,9
+	if r.Count() != 4 || r.Mean() != 6 {
+		t.Fatalf("post-eviction count=%d mean=%v, want 4 and 6", r.Count(), r.Mean())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestRollingConcurrent(t *testing.T) {
+	r := NewRolling(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				r.Add(0.5)
+				r.Mean()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 64 || r.Mean() != 0.5 {
+		t.Fatalf("count=%d mean=%v, want 64 and 0.5", r.Count(), r.Mean())
+	}
+	if r.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", r.Total(), 8*500)
+	}
+}
+
+func TestRollingPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive window size must panic")
+		}
+	}()
+	NewRolling(0)
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("drift_baseline", "Pinned baseline.")
+	v := r.FloatGaugeVec("online_brier_window", "Windowed Brier.", "model")
+	if g.Value() != 0 {
+		t.Fatalf("zero-value float gauge = %v, want 0", g.Value())
+	}
+	g.Set(0.0625)
+	v.With("tree").Set(0.25)
+	v.With("bayes").Set(0.125)
+	v.With("tree").Set(0.75) // same series, not a new one
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE drift_baseline gauge",
+		"drift_baseline 0.0625",
+		"# TYPE online_brier_window gauge",
+		`online_brier_window{model="bayes"} 0.125`,
+		`online_brier_window{model="tree"} 0.75`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, `model="tree"`) != 1 {
+		t.Fatalf("duplicate series for one label value:\n%s", out)
+	}
+}
+
+func TestFloatGaugeVecLabelWidthPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.FloatGaugeVec("fg", "fg", "model")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label count must panic")
+		}
+	}()
+	v.With("m", "extra")
+}
+
 func TestGaugeVec(t *testing.T) {
 	r := NewRegistry()
 	v := r.GaugeVec("replica_ready", "Replica readiness.", "replica")

@@ -76,6 +76,16 @@ type ScenarioOptions struct {
 	// AADTGrowth adds extra per-year traffic growth on top of the survey
 	// drift — a demand-drift scenario (0.03 means +3%/year).
 	AADTGrowth float64
+	// DriftAfterRow is the emitted-row index at which concept drift sets
+	// in: segments drawn from that row on have DriftRiskShift added to
+	// their underlying risk score before the crash-counting process runs.
+	// The observable features are untouched — only the label distribution
+	// moves, which is exactly the failure a deployed model cannot see in
+	// its inputs. Ignored when DriftRiskShift is 0.
+	DriftAfterRow int
+	// DriftRiskShift is the additive log-scale risk shift applied once
+	// drift sets in (crash rates scale by roughly e^shift).
+	DriftRiskShift float64
 }
 
 // DefaultScenarioOptions returns a calibrated mixed-weather stream of n
@@ -201,6 +211,9 @@ func (s *ScenarioStream) nextSegment() {
 	cfg := DefaultConfig()
 	seg := genAttributes(s.attrRng, s.nextID)
 	seg.Risk = riskScore(&seg, cfg, s.countRng)
+	if s.opt.DriftRiskShift != 0 && s.emitted >= s.opt.DriftAfterRow {
+		seg.Risk += s.opt.DriftRiskShift
+	}
 	pSafe := 1 / (1 + math.Exp((seg.Risk-cfg.HurdleMid)/cfg.HurdleScale))
 	if s.countRng.Float64() >= pSafe {
 		eff := seg.Risk

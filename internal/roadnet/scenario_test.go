@@ -169,6 +169,64 @@ func TestScenarioStreamDrift(t *testing.T) {
 	}
 }
 
+// TestScenarioStreamConceptDrift pins the DriftAfterRow/DriftRiskShift
+// injection: from the trigger row on, segments carry higher crash counts
+// while every observable feature column stays byte-identical to the
+// undrifted stream — concept drift a model cannot detect in its inputs.
+func TestScenarioStreamConceptDrift(t *testing.T) {
+	opt := DefaultScenarioOptions(4000)
+	base := drainScenario(t, mustScenario(t, opt))
+
+	drifted := opt
+	drifted.DriftAfterRow = 2000
+	drifted.DriftRiskShift = 1.5
+	rows := drainScenario(t, mustScenario(t, drifted))
+
+	countCol := 17
+	if name := mustScenario(t, opt).Attrs()[countCol].Name; name != CrashCountAttr {
+		t.Fatalf("column %d is %q, want %q", countCol, name, CrashCountAttr)
+	}
+	// Pre-drift rows are untouched, and every feature column (everything
+	// but the crash count) matches the undrifted stream throughout.
+	for i, row := range rows {
+		for j := range row {
+			if j == countCol && i >= drifted.DriftAfterRow {
+				continue
+			}
+			a, b := base[i][j], row[j]
+			if data.IsMissing(a) != data.IsMissing(b) || (!data.IsMissing(a) && a != b) {
+				t.Fatalf("row %d col %d diverged under drift: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	mean := func(rows [][]float64, from, to int) float64 {
+		sum, n := 0.0, 0.0
+		for i := from; i < to; i++ {
+			if i%opt.Years == 0 { // one count per segment
+				sum += rows[i][countCol]
+				n++
+			}
+		}
+		return sum / n
+	}
+	before, after := mean(rows, 0, 2000), mean(rows, 2000, 4000)
+	if after < 1.5*before {
+		t.Fatalf("drifted crash counts too close: pre-drift mean %.2f, post-drift mean %.2f", before, after)
+	}
+	// DriftAfterRow without a shift is inert.
+	inert := opt
+	inert.DriftAfterRow = 2000
+	same := drainScenario(t, mustScenario(t, inert))
+	for i := range base {
+		for j := range base[i] {
+			a, b := base[i][j], same[i][j]
+			if data.IsMissing(a) != data.IsMissing(b) || (!data.IsMissing(a) && a != b) {
+				t.Fatalf("row %d col %d changed with zero shift", i, j)
+			}
+		}
+	}
+}
+
 func TestScenarioStreamOptionErrors(t *testing.T) {
 	bad := []ScenarioOptions{
 		{Rows: 0, Years: 4},

@@ -84,6 +84,11 @@ type Config struct {
 	// MaxBodyBytes caps a batch request body, matching the replica's own
 	// limit. Default 64 MiB.
 	MaxBodyBytes int64
+	// JitterSeed seeds the router's private backoff-jitter RNG, making
+	// retry schedules reproducible in tests. Zero selects a time-based
+	// seed — the production default, where desynchronization is the
+	// point.
+	JitterSeed int64
 }
 
 // DefaultConfig returns the default routing and robustness settings.
@@ -186,6 +191,12 @@ type Router struct {
 	// could plausibly find a readmitted replica.
 	retryAfterHeader string
 
+	// jitter is the router's private backoff RNG. Per-instance (not the
+	// global math/rand source) so concurrent routers don't contend on
+	// one lock in the retry path and tests can seed it deterministically.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -220,6 +231,11 @@ func New(cfg Config) (*Router, error) {
 		stop:    make(chan struct{}),
 		metrics: metrics.NewRegistry(),
 	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rt.jitter = rand.New(rand.NewSource(seed))
 	rt.retryAfterHeader = strconv.FormatInt(int64((cfg.BreakerCooldown+time.Second-1)/time.Second), 10)
 	seen := make(map[string]bool)
 	for _, raw := range cfg.Replicas {
@@ -388,7 +404,10 @@ func (rt *Router) backoffDelay(retry int, retryAfter time.Duration) time.Duratio
 		d = rt.cfg.RetryMaxDelay
 	}
 	// Jitter desynchronizes retry storms from many clients.
-	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+	rt.jitterMu.Lock()
+	j := rt.jitter.Int63n(int64(d)/2 + 1)
+	rt.jitterMu.Unlock()
+	return d + time.Duration(j)
 }
 
 // parseRetryAfter reads a Retry-After header in both RFC 9110 forms —

@@ -612,3 +612,64 @@ func TestParseRetryAfter(t *testing.T) {
 		t.Errorf("parseRetryAfter(%q) = %v, want about an hour", far, got)
 	}
 }
+
+// TestBackoffDelayDeterministic pins the retry backoff schedule: the
+// jitter comes from a per-router RNG seeded by Config.JitterSeed, so two
+// routers with the same seed must produce identical delay sequences
+// (the old code drew from the global math/rand source, making this
+// impossible to test and contending on one lock across routers), every
+// delay must stay within [base, 1.5·base], and both the exponential
+// growth and a Retry-After hint must respect RetryMaxDelay.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	mk := func(seed int64) *Router {
+		rt, err := New(Config{
+			Replicas:       []string{"http://127.0.0.1:1"},
+			RetryBaseDelay: 10 * time.Millisecond,
+			RetryMaxDelay:  80 * time.Millisecond,
+			JitterSeed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	a, b := mk(42), mk(42)
+	other := mk(7)
+	var seqA, seqB, seqOther []time.Duration
+	for retry := 0; retry < 8; retry++ {
+		seqA = append(seqA, a.backoffDelay(retry, 0))
+		seqB = append(seqB, b.backoffDelay(retry, 0))
+		seqOther = append(seqOther, other.backoffDelay(retry, 0))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same-seed routers diverge at retry %d: %v vs %v", i, seqA[i], seqB[i])
+		}
+	}
+	same := true
+	for i := range seqA {
+		if seqA[i] != seqOther[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 8-delay sequence")
+	}
+	// Bounds: delay n sits in [min(base<<n, max), 1.5·min(base<<n, max)].
+	for retry, got := range seqA {
+		base := 10 * time.Millisecond << retry
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if got < base || got > base+base/2 {
+			t.Errorf("retry %d delay %v outside [%v, %v]", retry, got, base, base+base/2)
+		}
+	}
+	// A Retry-After hint overrides the exponential base but not the cap.
+	if got := a.backoffDelay(0, 40*time.Millisecond); got < 40*time.Millisecond || got > 60*time.Millisecond {
+		t.Errorf("hinted delay %v outside [40ms, 60ms]", got)
+	}
+	if got := a.backoffDelay(0, time.Minute); got < 80*time.Millisecond || got > 120*time.Millisecond {
+		t.Errorf("capped hinted delay %v outside [80ms, 120ms]", got)
+	}
+}

@@ -1,0 +1,721 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/data"
+	"roadcrash/internal/metrics"
+)
+
+// This file is the production feedback loop: POST /feedback joins delayed
+// crash labels to recently served scores (a bounded in-memory window keyed
+// by segment id + model version), maintains rolling online Brier/log-loss
+// per model version, raises a drift alarm with hysteresis against a pinned
+// baseline, shadow-scores a staged candidate set on live traffic, and
+// gates promotion of that set through the existing two-phase reload on the
+// candidate actually beating the incumbent on the rolling window.
+
+// segmentIDAttr is the bookkeeping column the feedback loop joins on. It
+// matches roadnet.AttrSegmentID without importing the generator: any feed
+// can carry it, synthetic or not.
+const segmentIDAttr = "segment_id"
+
+// brierBuckets covers the [0, 1] range of per-label Brier contributions
+// (squared error of a probability against a 0/1 outcome).
+var brierBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1}
+
+// loglossBuckets covers per-label log-loss: 0 at a confident correct
+// score, unbounded above (clamped by loglossClamp) for confident misses.
+var loglossBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8, 16}
+
+// loglossClamp bounds the probability used in the log-loss so a hard 0 or
+// 1 score that turns out wrong contributes a large finite penalty instead
+// of +Inf (which the rolling window and histograms would drop).
+const loglossClamp = 1e-9
+
+// FeedbackLabel is one delayed ground-truth observation: the segment the
+// label is for and whether it turned out crash-prone.
+type FeedbackLabel struct {
+	SegmentID  *float64 `json:"segment_id"`
+	CrashProne *bool    `json:"crash_prone"`
+}
+
+// FeedbackRequest is the POST /feedback body. Version optionally pins the
+// labels to one model version; when empty each label joins every version
+// that scored the segment inside the join window (incumbent and shadow).
+type FeedbackRequest struct {
+	Model   string          `json:"model"`
+	Version string          `json:"version,omitempty"`
+	Labels  []FeedbackLabel `json:"labels"`
+}
+
+// FeedbackResponse answers POST /feedback with per-outcome label counts
+// and the model's drift alarm state after ingestion.
+type FeedbackResponse struct {
+	Model    string         `json:"model"`
+	Outcomes map[string]int `json:"outcomes"`
+	Alarm    bool           `json:"drift_alarm"`
+	Promoted []string       `json:"promoted,omitempty"`
+}
+
+// ShadowStatus answers GET /shadow: the staged candidate versions next to
+// the incumbents they shadow, with both sides' windowed Brier.
+type ShadowStatus struct {
+	Staged     bool              `json:"staged"`
+	Candidates []CandidateStatus `json:"candidates,omitempty"`
+}
+
+// CandidateStatus is one shadowed model in the GET /shadow response. The
+// Brier fields read 0 until a side has joined labels — the label counts
+// say whether a Brier is evidence or a placeholder.
+type CandidateStatus struct {
+	Model            string  `json:"model"`
+	CandidateVersion string  `json:"candidate_version"`
+	IncumbentVersion string  `json:"incumbent_version,omitempty"`
+	Identical        bool    `json:"identical"`
+	CandidateBrier   float64 `json:"candidate_brier"`
+	IncumbentBrier   float64 `json:"incumbent_brier"`
+	CandidateLabels  uint64  `json:"candidate_labels"`
+	IncumbentLabels  uint64  `json:"incumbent_labels"`
+}
+
+// PromoteResponse answers POST /promote on success.
+type PromoteResponse struct {
+	Promoted []string `json:"promoted"`
+	Models   []string `json:"models"`
+}
+
+// scoreEntry is one served score awaiting its label.
+type scoreEntry struct {
+	id      int64
+	version string
+	risk    float64
+	matched bool
+	valid   bool
+}
+
+// versionStats is the online quality record of one model version.
+type versionStats struct {
+	brier    *metrics.Rolling
+	logloss  *metrics.Rolling
+	baseline float64
+	pinned   bool
+}
+
+// modelFeedback is one model's join window and drift state. The ring
+// holds the last FeedbackWindow served scores across all versions
+// (incumbent and shadow share it), indexed by segment id and version;
+// matched entries stay until FIFO eviction so a second label for the same
+// scored row is reported as a duplicate, not silently re-counted.
+type modelFeedback struct {
+	mu     sync.Mutex
+	ring   []scoreEntry
+	next   int
+	index  map[int64]map[string]int // segment id -> version -> ring slot
+	stats  map[string]*versionStats
+	firing bool
+}
+
+// feedbackState is the server's feedback subsystem: per-model join
+// windows plus the currently staged shadow candidate set.
+type feedbackState struct {
+	window  int
+	rolling int
+	min     int
+
+	mu       sync.Mutex
+	models   map[string]*modelFeedback
+	shadow   *Staged
+	shadowBy map[string]*Model // candidate per model name, from shadow
+}
+
+func newFeedbackState(cfg Config) *feedbackState {
+	return &feedbackState{
+		window:  cfg.FeedbackWindow,
+		rolling: cfg.RollingWindow,
+		min:     cfg.MinFeedback,
+		models:  make(map[string]*modelFeedback),
+	}
+}
+
+// forModel returns the model's feedback record, creating it on first use.
+func (f *feedbackState) forModel(name string) *modelFeedback {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf := f.models[name]
+	if mf == nil {
+		mf = &modelFeedback{
+			ring:  make([]scoreEntry, f.window),
+			index: make(map[int64]map[string]int),
+			stats: make(map[string]*versionStats),
+		}
+		f.models[name] = mf
+	}
+	return mf
+}
+
+// candidateFor returns the staged shadow candidate for the named model,
+// or nil when none is staged or the candidate is byte-identical to the
+// incumbent (shadow-scoring yourself proves nothing).
+func (f *feedbackState) candidateFor(name, incumbentVersion string) *Model {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.shadowBy[name]
+	if c == nil || c.Version == incumbentVersion {
+		return nil
+	}
+	return c
+}
+
+// statsFor returns the version's stats record, creating it on first use.
+// Caller holds mf.mu.
+func (mf *modelFeedback) statsFor(version string, rolling int) *versionStats {
+	st := mf.stats[version]
+	if st == nil {
+		st = &versionStats{brier: metrics.NewRolling(rolling), logloss: metrics.NewRolling(rolling)}
+		mf.stats[version] = st
+	}
+	return st
+}
+
+// recordLocked files one served score into the join window, evicting the
+// oldest entry when full. Re-scoring a (segment, version) pair overwrites
+// in place — the latest served score is the one a label grades. Caller
+// holds mf.mu.
+func (mf *modelFeedback) recordLocked(id int64, version string, risk float64) {
+	if byV := mf.index[id]; byV != nil {
+		if slot, ok := byV[version]; ok {
+			mf.ring[slot].risk = risk
+			mf.ring[slot].matched = false
+			return
+		}
+	}
+	slot := mf.next
+	if old := &mf.ring[slot]; old.valid {
+		if byV := mf.index[old.id]; byV != nil && byV[old.version] == slot {
+			delete(byV, old.version)
+			if len(byV) == 0 {
+				delete(mf.index, old.id)
+			}
+		}
+	}
+	mf.ring[slot] = scoreEntry{id: id, version: version, risk: risk, valid: true}
+	byV := mf.index[id]
+	if byV == nil {
+		byV = make(map[string]int, 2)
+		mf.index[id] = byV
+	}
+	byV[version] = slot
+	mf.next = (mf.next + 1) % len(mf.ring)
+}
+
+// Label-join outcomes, the values of the outcome label on
+// crashprone_feedback_labels_total.
+const (
+	outcomeMatched   = "matched"
+	outcomeDuplicate = "duplicate"
+	outcomeUnmatched = "unmatched"
+)
+
+// ingestLabel grades one label against the join window. For a match it
+// updates the rolling stats of every version whose served score for the
+// segment was still unlabelled and observes the per-label Brier and
+// log-loss contributions into the online histograms. An id with no window
+// entry at all is unmatched — the score aged out of the window (or was
+// never served here); an id whose entries were all labelled already is a
+// duplicate.
+func (s *Server) ingestLabel(name string, mf *modelFeedback, id int64, y float64, version string) string {
+	type sample struct {
+		version        string
+		brier, logloss float64
+	}
+	var samples []sample
+
+	mf.mu.Lock()
+	byV := mf.index[id]
+	fresh, seen := 0, 0
+	for v, slot := range byV {
+		if version != "" && v != version {
+			continue
+		}
+		seen++
+		e := &mf.ring[slot]
+		if e.matched {
+			continue
+		}
+		e.matched = true
+		fresh++
+		st := mf.statsFor(v, s.feedback.rolling)
+		brier := (e.risk - y) * (e.risk - y)
+		p := math.Min(1-loglossClamp, math.Max(loglossClamp, e.risk))
+		logloss := -(y*math.Log(p) + (1-y)*math.Log(1-p))
+		st.brier.Add(brier)
+		st.logloss.Add(logloss)
+		samples = append(samples, sample{version: v, brier: brier, logloss: logloss})
+	}
+	mf.mu.Unlock()
+
+	for _, sm := range samples {
+		s.onlineBrier.With(name, sm.version).Observe(sm.brier)
+		s.onlineLogloss.With(name, sm.version).Observe(sm.logloss)
+	}
+	switch {
+	case fresh > 0:
+		return outcomeMatched
+	case seen > 0:
+		return outcomeDuplicate
+	default:
+		return outcomeUnmatched
+	}
+}
+
+// driftSnapshot is one model's drift state after an evaluation pass.
+type driftSnapshot struct {
+	version  string
+	window   float64
+	baseline float64
+	pinned   bool
+	firing   bool
+	labels   uint64
+}
+
+// evaluateDrift pins the incumbent version's baseline once it has seen
+// MinFeedback labels, then applies the hysteresis: the alarm fires when
+// the windowed Brier reaches baseline×DriftFire and clears only when it
+// falls back to baseline×DriftClear — the gap keeps a metric hovering at
+// the threshold from flapping the alarm.
+func (s *Server) evaluateDrift(name, version string) driftSnapshot {
+	mf := s.feedback.forModel(name)
+	mf.mu.Lock()
+	st := mf.stats[version]
+	if st == nil {
+		snap := driftSnapshot{version: version, window: math.NaN(), firing: mf.firing}
+		mf.mu.Unlock()
+		return snap
+	}
+	if !st.pinned && st.brier.Total() >= uint64(s.feedback.min) {
+		st.baseline = st.brier.Mean()
+		st.pinned = true
+	}
+	w := st.brier.Mean()
+	if st.pinned {
+		switch {
+		case !mf.firing && w >= st.baseline*s.cfg.DriftFire:
+			mf.firing = true
+		case mf.firing && w <= st.baseline*s.cfg.DriftClear:
+			mf.firing = false
+		}
+	}
+	snap := driftSnapshot{
+		version: version, window: w, baseline: st.baseline,
+		pinned: st.pinned, firing: mf.firing, labels: st.brier.Total(),
+	}
+	mf.mu.Unlock()
+
+	if !math.IsNaN(w) {
+		s.brierWindow.With(name, version).Set(w)
+	}
+	if snap.pinned {
+		s.driftBaseline.With(name).Set(snap.baseline)
+	}
+	alarm := int64(0)
+	if snap.firing {
+		alarm = 1
+	}
+	s.driftAlarm.With(name).Set(alarm)
+	return snap
+}
+
+// observeScores files a scored batch into the feedback loop: incumbent
+// scores join the label window under the incumbent's version, and when a
+// differing candidate is staged the same batch is shadow-scored —
+// recorded under the candidate's version, never returned to the client.
+// A shadow failure (schema mismatch, non-finite score) is counted and
+// otherwise ignored; shadowing must not be able to break serving.
+func (s *Server) observeScores(name string, m *Model, batch *data.Batch, scores []float64) {
+	_, segCol := m.fbSchema()
+	cand := s.feedback.candidateFor(name, m.Version)
+	var candScores []float64
+	if cand != nil {
+		bs := artifact.NewBatchScorerFor(cand.Scorer, cand.Mapper)
+		out, err := bs.ScoreBatch(batch)
+		if err != nil {
+			s.shadowRows.With(name, "error").Add(uint64(batch.Len()))
+		} else {
+			candScores = out
+			s.shadowRows.With(name, "scored").Add(uint64(len(out)))
+		}
+	}
+	if segCol < 0 || segCol >= len(batch.Attrs()) {
+		return
+	}
+	ids := batch.Col(segCol)
+	mf := s.feedback.forModel(name)
+	mf.mu.Lock()
+	for i, risk := range scores {
+		if data.IsMissing(ids[i]) {
+			continue
+		}
+		id := int64(ids[i])
+		mf.recordLocked(id, m.Version, risk)
+		if candScores != nil && artifact.IsFinite(candScores[i]) {
+			mf.recordLocked(id, cand.Version, candScores[i])
+		}
+	}
+	mf.mu.Unlock()
+}
+
+// fbSchema returns the model's feedback-mode request schema — the
+// training schema plus an interval segment_id column when the schema
+// lacks one — and the index of the join column (-1 when the schema
+// defines segment_id with a non-numeric kind, which disables joining).
+func (m *Model) fbSchema() ([]data.Attribute, int) {
+	m.fbOnce.Do(func() {
+		attrs := m.Mapper.Attrs()
+		for j, at := range attrs {
+			if at.Name == segmentIDAttr {
+				m.fbAttrs = attrs
+				m.fbSegCol = -1
+				if at.Kind != data.Nominal {
+					m.fbSegCol = j
+				}
+				return
+			}
+		}
+		merged := make([]data.Attribute, 0, len(attrs)+1)
+		merged = append(merged, attrs...)
+		merged = append(merged, data.Attribute{Name: segmentIDAttr, Kind: data.Interval})
+		m.fbAttrs = merged
+		m.fbSegCol = len(merged) - 1
+	})
+	return m.fbAttrs, m.fbSegCol
+}
+
+// feedbackScoreState is scoreState's feedback-mode sibling: the pooled
+// parser covers fbSchema, so clients may attach segment ids to /score
+// segments; the batch scorer ignores the extra column (bookkeeping
+// columns are skipped at bind time), keeping responses byte-identical to
+// the default path.
+func (m *Model) feedbackScoreState() *scoreState {
+	if st, ok := m.fbPool.Get().(*scoreState); ok {
+		return st
+	}
+	attrs, _ := m.fbSchema()
+	return &scoreState{
+		parser: data.NewScoreRequestParser(attrs),
+		bs:     artifact.NewBatchScorerFor(m.Scorer, m.Mapper),
+	}
+}
+
+// putFeedbackScoreState mirrors putScoreState for the feedback pool.
+func (m *Model) putFeedbackScoreState(st *scoreState) {
+	if st.parser.InternedLevels() > m.schemaLevels+maxPooledLevels {
+		return
+	}
+	m.fbPool.Put(st)
+}
+
+// handleFeedback ingests delayed labels: POST {"model": ..., "labels":
+// [{"segment_id": ..., "crash_prone": ...}, ...]}. The request is
+// validated whole before any label is applied, every label is graded
+// matched/duplicate/unmatched against the join window, the model's drift
+// alarm is re-evaluated, and — with AutoPromote on — the promotion gate
+// runs.
+func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var fr FeedbackRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&fr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	if fr.Model == "" {
+		writeError(w, http.StatusBadRequest, "missing model name")
+		return
+	}
+	m, ok := s.reg.Get(fr.Model)
+	if !ok {
+		s.fbLabels.With(fr.Model, "unknown_model").Add(uint64(len(fr.Labels)))
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", fr.Model))
+		return
+	}
+	if fr.Version != "" && !s.knownVersion(fr.Model, m, fr.Version) {
+		s.fbLabels.With(fr.Model, "unknown_version").Add(uint64(len(fr.Labels)))
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown version %q for model %q (serving %s)", fr.Version, fr.Model, m.Version))
+		return
+	}
+	if len(fr.Labels) == 0 {
+		writeError(w, http.StatusBadRequest, "no labels to ingest")
+		return
+	}
+	for i, l := range fr.Labels {
+		switch {
+		case l.SegmentID == nil:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("label %d: missing segment_id", i))
+			return
+		case *l.SegmentID != math.Trunc(*l.SegmentID) || math.IsInf(*l.SegmentID, 0):
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("label %d: segment_id %v is not an integer", i, *l.SegmentID))
+			return
+		case l.CrashProne == nil:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("label %d: missing crash_prone", i))
+			return
+		}
+	}
+
+	mf := s.feedback.forModel(fr.Model)
+	outcomes := make(map[string]int)
+	for _, l := range fr.Labels {
+		y := 0.0
+		if *l.CrashProne {
+			y = 1
+		}
+		outcome := s.ingestLabel(fr.Model, mf, int64(*l.SegmentID), y, fr.Version)
+		outcomes[outcome]++
+		s.fbLabels.With(fr.Model, outcome).Inc()
+	}
+	snap := s.evaluateDrift(fr.Model, m.Version)
+	resp := FeedbackResponse{Model: fr.Model, Outcomes: outcomes, Alarm: snap.firing}
+	if s.cfg.AutoPromote {
+		if promoted, _, err := s.tryPromote(); err == nil {
+			resp.Promoted = promoted
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// knownVersion reports whether version names the incumbent, the staged
+// shadow candidate, or a version the join window has stats for (a just-
+// replaced incumbent whose late labels are still arriving).
+func (s *Server) knownVersion(name string, m *Model, version string) bool {
+	if version == m.Version {
+		return true
+	}
+	if c := s.feedback.candidateFor(name, m.Version); c != nil && c.Version == version {
+		return true
+	}
+	mf := s.feedback.forModel(name)
+	mf.mu.Lock()
+	_, ok := mf.stats[version]
+	mf.mu.Unlock()
+	return ok
+}
+
+// handleShadow answers GET with the shadow status and POST by staging the
+// reload directory's artifacts as shadow candidates: decoded and compiled
+// via the same PrepareDir as a two-phase reload, scored against live
+// traffic from now on, and committed only by the promotion gate.
+func (s *Server) handleShadow(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.shadowStatus())
+	case http.MethodPost:
+		staged, err := s.reg.PrepareDir(s.cfg.ReloadDir)
+		if err != nil {
+			s.promotions.With("stage_error").Inc()
+			writeError(w, http.StatusInternalServerError,
+				fmt.Sprintf("shadow stage failed, nothing staged: %v", err))
+			return
+		}
+		byName := make(map[string]*Model, len(staged.models))
+		for name, m := range staged.models {
+			byName[name] = m
+		}
+		s.feedback.mu.Lock()
+		s.feedback.shadow = staged
+		s.feedback.shadowBy = byName
+		s.feedback.mu.Unlock()
+		s.promotions.With("staged").Inc()
+		writeJSON(w, http.StatusOK, s.shadowStatus())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// handleShadowAbort drops the staged shadow set. Idempotent, like
+// /reload/abort.
+func (s *Server) handleShadowAbort(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.feedback.mu.Lock()
+	had := s.feedback.shadow != nil
+	s.feedback.shadow = nil
+	s.feedback.shadowBy = nil
+	s.feedback.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"aborted": had})
+}
+
+// shadowStatus snapshots the staged candidates against their incumbents.
+func (s *Server) shadowStatus() ShadowStatus {
+	s.feedback.mu.Lock()
+	staged := s.feedback.shadow
+	byName := s.feedback.shadowBy
+	s.feedback.mu.Unlock()
+	if staged == nil {
+		return ShadowStatus{}
+	}
+	status := ShadowStatus{Staged: true}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cand := byName[name]
+		cs := CandidateStatus{Model: name, CandidateVersion: cand.Version}
+		if inc, ok := s.reg.Get(name); ok {
+			cs.IncumbentVersion = inc.Version
+			cs.Identical = inc.Version == cand.Version
+			cs.IncumbentBrier, cs.IncumbentLabels = s.versionBrier(name, inc.Version)
+		}
+		cs.CandidateBrier, cs.CandidateLabels = s.versionBrier(name, cand.Version)
+		// An unlabelled side's mean is NaN, which JSON cannot carry.
+		if math.IsNaN(cs.IncumbentBrier) {
+			cs.IncumbentBrier = 0
+		}
+		if math.IsNaN(cs.CandidateBrier) {
+			cs.CandidateBrier = 0
+		}
+		status.Candidates = append(status.Candidates, cs)
+	}
+	return status
+}
+
+// versionBrier reads one version's windowed Brier mean and label count.
+func (s *Server) versionBrier(name, version string) (float64, uint64) {
+	mf := s.feedback.forModel(name)
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	st := mf.stats[version]
+	if st == nil {
+		return math.NaN(), 0
+	}
+	return st.brier.Mean(), st.brier.Total()
+}
+
+// handlePromote runs the promotion gate on demand: 200 with the promoted
+// names when the staged candidates beat their incumbents, 409 with the
+// gate's reason otherwise.
+func (s *Server) handlePromote(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	promoted, names, err := s.tryPromote()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: promoted, Models: names})
+}
+
+// tryPromote is the gate: every staged candidate that differs from its
+// incumbent must have at least MinFeedback joined labels on both sides
+// and a windowed Brier at least PromoteMargin (relative) better than the
+// incumbent's. On pass the staged set commits through the same
+// infallible swap as /reload/commit, the new incumbents' baselines are
+// re-pinned at their current windowed Brier, and the drift alarms clear.
+// On any failing candidate nothing is committed.
+func (s *Server) tryPromote() (promoted, names []string, err error) {
+	s.feedback.mu.Lock()
+	staged := s.feedback.shadow
+	byName := s.feedback.shadowBy
+	s.feedback.mu.Unlock()
+	if staged == nil {
+		s.promotions.With("no_candidate").Inc()
+		return nil, nil, fmt.Errorf("no shadow candidate staged (POST /shadow first)")
+	}
+
+	candNames := make([]string, 0, len(byName))
+	for name := range byName {
+		candNames = append(candNames, name)
+	}
+	sort.Strings(candNames)
+	for _, name := range candNames {
+		cand := byName[name]
+		inc, ok := s.reg.Get(name)
+		if !ok || inc.Version == cand.Version {
+			continue // new or identical model: nothing to beat
+		}
+		candBrier, candLabels := s.versionBrier(name, cand.Version)
+		incBrier, incLabels := s.versionBrier(name, inc.Version)
+		min := uint64(s.feedback.min)
+		if candLabels < min || incLabels < min {
+			s.promotions.With("rejected_labels").Inc()
+			return nil, nil, fmt.Errorf(
+				"model %q: not enough joined labels to judge (candidate %d, incumbent %d, need %d each)",
+				name, candLabels, incLabels, min)
+		}
+		if !(candBrier < incBrier*(1-s.cfg.PromoteMargin)) {
+			s.promotions.With("rejected_margin").Inc()
+			return nil, nil, fmt.Errorf(
+				"model %q: candidate windowed Brier %.4f does not beat incumbent %.4f by the %.0f%% margin",
+				name, candBrier, incBrier, s.cfg.PromoteMargin*100)
+		}
+		promoted = append(promoted, name)
+	}
+	if len(promoted) == 0 {
+		s.promotions.With("no_change").Inc()
+		return nil, nil, fmt.Errorf("staged candidates are identical to the serving set; nothing to promote")
+	}
+
+	names = staged.Commit()
+	s.feedback.mu.Lock()
+	s.feedback.shadow = nil
+	s.feedback.shadowBy = nil
+	s.feedback.mu.Unlock()
+	s.promotions.With("promoted").Inc()
+
+	// The promoted version becomes the drift reference: pin its baseline
+	// at its current windowed Brier and clear the alarm — the old
+	// baseline described a model that is no longer serving.
+	for _, name := range promoted {
+		cand := byName[name]
+		mf := s.feedback.forModel(name)
+		mf.mu.Lock()
+		if st := mf.stats[cand.Version]; st != nil {
+			st.baseline = st.brier.Mean()
+			st.pinned = true
+		}
+		mf.firing = false
+		mf.mu.Unlock()
+		s.evaluateDrift(name, cand.Version)
+	}
+	return promoted, names, nil
+}
+
+// driftDetail is the /healthz feedback block: per-model alarm state,
+// windowed Brier, pinned baseline and joined-label count for the
+// version currently serving.
+func (s *Server) driftDetail() map[string]any {
+	detail := make(map[string]any)
+	for _, m := range s.reg.Models() {
+		name := m.Artifact.Name
+		mf := s.feedback.forModel(name)
+		mf.mu.Lock()
+		entry := map[string]any{"version": m.Version, "alarm": mf.firing}
+		if st := mf.stats[m.Version]; st != nil {
+			if w := st.brier.Mean(); !math.IsNaN(w) {
+				entry["brier_window"] = w
+			}
+			if st.pinned {
+				entry["baseline"] = st.baseline
+			}
+			entry["labels"] = st.brier.Total()
+		}
+		mf.mu.Unlock()
+		detail[name] = entry
+	}
+	return detail
+}

@@ -14,6 +14,9 @@
 package serve
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,6 +25,7 @@ import (
 	"sync"
 
 	"roadcrash/internal/artifact"
+	"roadcrash/internal/data"
 )
 
 // Model is one servable entry: the decoded artifact, its learner and the
@@ -35,6 +39,13 @@ type Model struct {
 	Scorer   artifact.Scorer
 	Mapper   *artifact.RowMapper
 
+	// Version is a content hash of the artifact's deterministic encoding:
+	// two models are the same version exactly when their artifacts are
+	// byte-identical. The feedback loop keys its score join window and
+	// online metrics by it, so an incumbent and a shadow candidate that
+	// happen to share a name never pollute each other's statistics.
+	Version string
+
 	// statePool recycles /score request state (parser + batch scorer, see
 	// fastpath.go) across requests for this model; schemaLevels is the
 	// training schema's nominal level count, the baseline for the pool's
@@ -43,6 +54,14 @@ type Model struct {
 	// with them.
 	statePool    sync.Pool
 	schemaLevels int
+
+	// fbPool recycles the feedback-enabled variant of the request state,
+	// whose parser covers fbAttrs — the training schema plus a segment_id
+	// bookkeeping column when the schema lacks one (see feedback.go).
+	fbPool   sync.Pool
+	fbOnce   sync.Once
+	fbAttrs  []data.Attribute
+	fbSegCol int
 }
 
 // buildModel decodes an artifact's learner, compiles it and builds its
@@ -60,7 +79,15 @@ func buildModel(a *artifact.Artifact) (*Model, error) {
 	for _, at := range mapper.Attrs() {
 		levels += len(at.Levels)
 	}
-	return &Model{Artifact: a, Scorer: artifact.Compile(scorer), Mapper: mapper, schemaLevels: levels}, nil
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return &Model{
+		Artifact: a, Scorer: artifact.Compile(scorer), Mapper: mapper,
+		Version: hex.EncodeToString(sum[:6]), schemaLevels: levels,
+	}, nil
 }
 
 // Registry is a concurrent-safe name -> model table. Mutations swap

@@ -64,6 +64,37 @@ type Config struct {
 	// replaced with the artifacts in this directory. Empty disables the
 	// endpoint (404).
 	ReloadDir string
+	// FeedbackWindow enables the label-feedback loop (POST /feedback,
+	// shadow scoring, gated promotion): each model keeps its last
+	// FeedbackWindow served scores in memory, keyed by segment id and
+	// model version, for delayed labels to join against. Scoring requests
+	// may then carry a segment_id bookkeeping column (ignored by the
+	// models). 0 disables the loop and all its endpoints. Note a staged
+	// shadow candidate's scores share the incumbent's window.
+	FeedbackWindow int
+	// RollingWindow is the sample count of the rolling online-metric
+	// windows (per-version Brier score and log-loss). Default 256.
+	RollingWindow int
+	// MinFeedback is how many joined labels a model version needs before
+	// its drift baseline is pinned and before it can take part in a
+	// promotion decision. Default 50.
+	MinFeedback int
+	// DriftFire raises a model's drift alarm when its windowed Brier
+	// reaches baseline×DriftFire. Default 1.5.
+	DriftFire float64
+	// DriftClear lowers a firing alarm when the windowed Brier falls back
+	// to baseline×DriftClear; the gap below DriftFire is the hysteresis
+	// that keeps a hovering metric from flapping the alarm. Default 1.15.
+	DriftClear float64
+	// PromoteMargin is the relative windowed-Brier improvement a shadow
+	// candidate must show over the incumbent to pass the promotion gate
+	// (0.05 means 5% better). Default 0.05.
+	PromoteMargin float64
+	// AutoPromote runs the promotion gate automatically after every
+	// feedback ingest, committing the staged shadow set the moment it
+	// provably beats the incumbents. Off, promotion only happens on an
+	// explicit POST /promote.
+	AutoPromote bool
 }
 
 // DefaultConfig returns the default admission and deadline settings.
@@ -94,6 +125,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = def.RetryAfter
+	}
+	if c.RollingWindow <= 0 {
+		c.RollingWindow = 256
+	}
+	if c.MinFeedback <= 0 {
+		c.MinFeedback = 50
+	}
+	if c.DriftFire <= 0 {
+		c.DriftFire = 1.5
+	}
+	if c.DriftClear <= 0 {
+		c.DriftClear = 1.15
+	}
+	if c.PromoteMargin <= 0 {
+		c.PromoteMargin = 0.05
 	}
 	return c
 }
@@ -126,6 +172,7 @@ type ScoreResponse struct {
 type ModelInfo struct {
 	Name      string             `json:"name"`
 	Kind      artifact.Kind      `json:"kind"`
+	Version   string             `json:"version"`
 	Threshold int                `json:"threshold"`
 	Seed      uint64             `json:"seed"`
 	Schema    []string           `json:"schema"`
@@ -175,6 +222,11 @@ type Server struct {
 	stagedMu sync.Mutex
 	staged   *Staged
 
+	// feedback is the label-feedback subsystem (join windows, drift
+	// state, staged shadow set); nil when Config.FeedbackWindow is 0,
+	// and every hook below guards on that.
+	feedback *feedbackState
+
 	metrics   *metrics.Registry
 	inFlight  *metrics.Gauge
 	requests  *metrics.CounterVec   // {endpoint, code}
@@ -183,6 +235,16 @@ type Server struct {
 	errors    *metrics.CounterVec   // {model, endpoint}
 	latency   *metrics.HistogramVec // {endpoint}
 	reloads   *metrics.CounterVec   // {outcome}
+
+	// Feedback-loop metrics, registered only when the loop is enabled.
+	fbLabels      *metrics.CounterVec    // {model, outcome}
+	onlineBrier   *metrics.HistogramVec  // {model, version}
+	onlineLogloss *metrics.HistogramVec  // {model, version}
+	brierWindow   *metrics.FloatGaugeVec // {model, version}
+	driftBaseline *metrics.FloatGaugeVec // {model}
+	driftAlarm    *metrics.GaugeVec      // {model}
+	shadowRows    *metrics.CounterVec    // {model, outcome}
+	promotions    *metrics.CounterVec    // {outcome}
 }
 
 // NewServer builds the service with the default configuration — the
@@ -193,7 +255,7 @@ func NewServer(reg *Registry) *Server { return New(reg, Config{}) }
 // defaults.
 func New(reg *Registry, cfg Config) *Server {
 	s := &Server{reg: reg, cfg: cfg.withDefaults(), metrics: metrics.NewRegistry()}
-	s.retryAfter = strconv.FormatInt(int64((s.cfg.RetryAfter + time.Second - 1) / time.Second), 10)
+	s.retryAfter = strconv.FormatInt(int64((s.cfg.RetryAfter+time.Second-1)/time.Second), 10)
 	s.inFlight = s.metrics.Gauge("crashprone_in_flight_requests",
 		"Scoring requests currently being handled.")
 	s.requests = s.metrics.CounterVec("crashprone_requests_total",
@@ -210,6 +272,30 @@ func New(reg *Registry, cfg Config) *Server {
 	s.reloads = s.metrics.CounterVec("crashprone_reloads_total",
 		"POST /reload attempts by outcome.", "outcome")
 
+	if s.cfg.FeedbackWindow > 0 {
+		s.feedback = newFeedbackState(s.cfg)
+		s.fbLabels = s.metrics.CounterVec("crashprone_feedback_labels_total",
+			"Feedback labels by model and join outcome (matched, duplicate, unmatched, unknown_model, unknown_version).",
+			"model", "outcome")
+		s.onlineBrier = s.metrics.HistogramVec("crashprone_online_brier",
+			"Per-label Brier contributions of joined feedback, by model and version.",
+			brierBuckets, "model", "version")
+		s.onlineLogloss = s.metrics.HistogramVec("crashprone_online_logloss",
+			"Per-label log-loss contributions of joined feedback, by model and version.",
+			loglossBuckets, "model", "version")
+		s.brierWindow = s.metrics.FloatGaugeVec("crashprone_online_brier_window",
+			"Rolling windowed Brier score by model and version.", "model", "version")
+		s.driftBaseline = s.metrics.FloatGaugeVec("crashprone_drift_baseline",
+			"Pinned windowed-Brier baseline of the serving model.", "model")
+		s.driftAlarm = s.metrics.GaugeVec("crashprone_drift_alarm",
+			"Drift alarm state by model (1 firing, 0 clear).", "model")
+		s.shadowRows = s.metrics.CounterVec("crashprone_shadow_rows_total",
+			"Rows shadow-scored against a staged candidate, by model and outcome (scored, error).",
+			"model", "outcome")
+		s.promotions = s.metrics.CounterVec("crashprone_promotions_total",
+			"Shadow staging and promotion-gate decisions by outcome.", "outcome")
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -221,6 +307,14 @@ func New(reg *Registry, cfg Config) *Server {
 		mux.HandleFunc("/reload/prepare", s.handleReloadPrepare)
 		mux.HandleFunc("/reload/commit", s.handleReloadCommit)
 		mux.HandleFunc("/reload/abort", s.handleReloadAbort)
+	}
+	if s.feedback != nil {
+		mux.HandleFunc("/feedback", s.handleFeedback)
+		if s.cfg.ReloadDir != "" {
+			mux.HandleFunc("/shadow", s.handleShadow)
+			mux.HandleFunc("/shadow/abort", s.handleShadowAbort)
+			mux.HandleFunc("/promote", s.handlePromote)
+		}
 	}
 	s.mux = mux
 	return s
@@ -295,7 +389,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no models loaded", "ready": false, "models": 0})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": true, "models": n})
+	body := map[string]any{"status": "ok", "ready": true, "models": n}
+	if s.feedback != nil {
+		// Drift detail rides on readiness so a routing tier (which already
+		// polls /healthz) sees alarms without another endpoint. A firing
+		// alarm does not fail readiness: a drifted model still scores.
+		body["drift"] = s.driftDetail()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
@@ -321,7 +422,7 @@ func (s *Server) handleModels(w http.ResponseWriter, req *http.Request) {
 			schema = append(schema, at.Name)
 		}
 		infos = append(infos, ModelInfo{
-			Name: a.Name, Kind: a.Kind, Threshold: a.Threshold,
+			Name: a.Name, Kind: a.Kind, Version: m.Version, Threshold: a.Threshold,
 			Seed: a.Seed, Schema: schema, Target: a.Target, Metrics: a.Metrics,
 		})
 	}
@@ -455,14 +556,28 @@ func (s *Server) handleScore(w http.ResponseWriter, req *http.Request) {
 			return nil, unknownModelError(name)
 		}
 		m = mm
-		st = mm.scoreState()
+		if s.feedback != nil {
+			// Feedback mode parses against the merged schema (training
+			// attributes plus segment_id) so requests can carry the join
+			// key; the scorer ignores the extra column, so the response
+			// bytes match the default path exactly.
+			st = mm.feedbackScoreState()
+		} else {
+			st = mm.scoreState()
+		}
 		return st.parser, nil
 	})
 	if st != nil {
 		// The batch and its scores live in the pooled state; the response
 		// is fully written before the handler returns, so the deferred put
 		// cannot release them early.
-		defer m.putScoreState(st)
+		defer func() {
+			if s.feedback != nil {
+				m.putFeedbackScoreState(st)
+			} else {
+				m.putScoreState(st)
+			}
+		}()
 	}
 	if err != nil {
 		var (
@@ -514,6 +629,11 @@ func (s *Server) handleScore(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(bufs.resp)
+	if s.feedback != nil {
+		// After the response: joining and shadow scoring must never delay
+		// or fail what the client sees.
+		s.observeScores(model, m, batch, scores)
+	}
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
@@ -568,7 +688,13 @@ func (s *Server) streamScores(w http.ResponseWriter, name string, m *Model, req 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	body := &extendingReader{r: req.Body, extend: extend}
-	br := data.NewNDJSONBatchReader(body, m.Mapper.Attrs(), streamChunkSize)
+	attrs := m.Mapper.Attrs()
+	if s.feedback != nil {
+		// As on /score: feedback mode reads the merged schema so stream
+		// rows can carry segment ids for the label join.
+		attrs, _ = m.fbSchema()
+	}
+	br := data.NewNDJSONBatchReader(body, attrs, streamChunkSize)
 	bs := artifact.NewBatchScorerFor(m.Scorer, m.Mapper)
 	var lines []byte // reused chunk render buffer
 	rows, err := bs.ScoreAll(br, func(b *data.Batch, scores []float64) error {
@@ -598,6 +724,11 @@ func (s *Server) streamScores(w http.ResponseWriter, name string, m *Model, req 
 		}
 		rc.Flush()
 		extend()
+		if s.feedback != nil {
+			// The chunk reached the client: file its scores for the join
+			// and shadow-score it against any staged candidate.
+			s.observeScores(name, m, b, scores)
+		}
 		return nil
 	})
 	s.rows.With(name).Add(uint64(rows))
