@@ -7,6 +7,8 @@
 //	crashprone sweep -export-best m.json    # …and persist the best model
 //	crashprone rules -threshold 8           # decision-tree rule extraction
 //	crashprone cluster -k 32                # phase 3 clustering report
+//	crashprone hotspots -cell 3 -k 64       # grid-cell hotspot evaluation
+//	crashprone hotspots -export h.json      # …and persist the KDE surface
 //	crashprone rank -threshold 8            # rank segments by proneness
 //	crashprone crisp                        # full CRISP-DM process report
 //	crashprone export -threshold 8 -out m.json   # persist a trained model
@@ -43,7 +45,9 @@ import (
 	"roadcrash/internal/core"
 	"roadcrash/internal/crisp"
 	"roadcrash/internal/data"
+	"roadcrash/internal/eval"
 	"roadcrash/internal/faultproxy"
+	"roadcrash/internal/geo"
 	"roadcrash/internal/loadgen"
 	"roadcrash/internal/mining/tree"
 	"roadcrash/internal/roadnet"
@@ -69,6 +73,8 @@ func main() {
 		err = cmdRules(args)
 	case "cluster":
 		err = cmdCluster(args)
+	case "hotspots":
+		err = cmdHotspots(args)
 	case "rank":
 		err = cmdRank(args)
 	case "crisp":
@@ -110,6 +116,9 @@ study commands:
              -export-best writes the best-MCPV model as an artifact
   rules      grow a decision tree at one threshold and print its rules
   cluster    run the phase 3 k-means clustering and crash-count ranges
+  hotspots   grid-cell hotspot evaluation: fit KDE and persistence risk
+             surfaces on scenario data, compare next-period hit-rate@k,
+             and optionally export the surface as a hotspot artifact
   rank       rank road segments by predicted crash proneness
   crisp      run the whole study under the CRISP-DM process framework
 
@@ -119,8 +128,8 @@ model commands (see docs/SERVING.md and docs/DATA.md):
              against an artifact, in constant memory
   simulate   stream synthetic segment-year rows for load testing
   serve      serve artifacts over the HTTP scoring API
-             (POST /score, POST /score/stream, GET /models, GET /healthz,
-             GET /metrics, POST /reload)
+             (POST /score, POST /score/stream, GET /hotspots, GET /models,
+             GET /healthz, GET /metrics, POST /reload)
   router     fan scoring traffic across serve replicas with least-inflight
              routing, retries, hedging, circuit breakers and fleet-atomic
              POST /reload
@@ -588,7 +597,7 @@ func cmdServe(args []string) error {
 	// once, in-flight requests (including streams) drain for up to -drain.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "serving %d model(s) on %s (POST /score, POST /score/stream, GET /models, GET /healthz, GET /metrics)\n", reg.Len(), *addr)
+	fmt.Fprintf(os.Stderr, "serving %d model(s) on %s (POST /score, POST /score/stream, GET /hotspots, GET /models, GET /healthz, GET /metrics)\n", reg.Len(), *addr)
 	return serve.Run(ctx, *addr, serve.New(reg, cfg), *drain)
 }
 
@@ -691,11 +700,12 @@ func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL(s) of the scoring service, comma-separated for multi-target runs")
 	model := fs.String("model", "", "model to drive (default: first model the service lists)")
-	mode := fs.String("mode", "mixed", "endpoints to drive: batch, stream or mixed")
+	mode := fs.String("mode", "mixed", "endpoints to drive: batch, stream, mixed or hotspot")
 	concurrency := fs.Int("concurrency", 8, "concurrent request workers")
 	duration := fs.Duration("duration", 10*time.Second, "run length")
 	batchRows := fs.Int("batch-rows", 256, "segments per /score request")
 	streamRows := fs.Int("stream-rows", 4096, "rows per /score/stream request")
+	hotspotK := fs.Int("hotspot-k", 0, "cells per GET /hotspots request in hotspot mode (0 = default 16)")
 	seed := fs.Uint64("seed", 0, "scenario traffic seed (0 keeps the default)")
 	weather := fs.String("weather", "mixed", "weather regime of the traffic: mixed, wet or dry")
 	retry := fs.Bool("retry", false, "retry 429s and transport errors, honoring Retry-After")
@@ -725,6 +735,7 @@ func cmdLoadgen(args []string) error {
 		Duration:       *duration,
 		BatchRows:      *batchRows,
 		StreamRows:     *streamRows,
+		HotspotK:       *hotspotK,
 		Seed:           *seed,
 		Weather:        w,
 		Retry:          *retry,
@@ -756,6 +767,145 @@ func cmdLoadgen(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d rows in %.1fs (%.0f rows/s) against %q\n",
 		rep.TotalRows, rep.DurationSeconds, rep.TotalRowsPerSec, rep.Model)
+	return nil
+}
+
+// cmdHotspots runs the offline grid-cell hotspot evaluation: it streams
+// scenario segment-years, collapses them to per-segment observations with
+// coordinates, splits the segments into a training and an evaluation
+// period, fits the KDE and persistence risk surfaces on the training
+// period, and reports how much next-period crash mass each surface's
+// top-k cells capture. -export persists the chosen surface as a hotspot
+// artifact for `crashprone serve` — GET /hotspots then returns exactly
+// the ranking printed here.
+func cmdHotspots(args []string) error {
+	fs := flag.NewFlagSet("hotspots", flag.ExitOnError)
+	rows := fs.Int("rows", 200000, "scenario segment-year rows to stream")
+	seed := fs.Uint64("seed", 20110322, "scenario seed")
+	cell := fs.Float64("cell", 3, "grid cell size in km")
+	bandwidth := fs.Float64("bandwidth", 0, "KDE bandwidth in km (0 = default)")
+	k := fs.Int("k", 64, "top-k cells the hit-rate headline scores")
+	trainFrac := fs.Float64("train-frac", 0.5, "fraction of segments in the training period")
+	driftAfterRow := fs.Int("drift-after-row", 0, "stream row at which concept drift sets in (with -drift-shift)")
+	driftShift := fs.Float64("drift-shift", 0, "additive log-scale risk shift injected after -drift-after-row")
+	workers := fs.Int("workers", 0, "KDE fit workers (0 = GOMAXPROCS)")
+	top := fs.Int("top", 10, "print the N highest-risk cells of each surface")
+	export := fs.String("export", "", "write the exported surface as a hotspot artifact at this path")
+	method := fs.String("method", geo.MethodKDE, "surface -export persists: kde or persistence")
+	name := fs.String("name", "", "exported artifact model name (default grid-<method>)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *method != geo.MethodKDE && *method != geo.MethodPersistence {
+		return fmt.Errorf("hotspots: unknown method %q (want kde or persistence)", *method)
+	}
+
+	scn := roadnet.DefaultScenarioOptions(*rows)
+	scn.Seed = *seed
+	scn.DriftAfterRow = *driftAfterRow
+	scn.DriftRiskShift = *driftShift
+	stream, err := roadnet.NewScenarioStream(scn)
+	if err != nil {
+		return err
+	}
+	obs, err := geo.CollectSegments(stream)
+	if err != nil {
+		return err
+	}
+	train, test, err := geo.SplitObservations(obs, *trainFrac)
+	if err != nil {
+		return err
+	}
+	g, err := geo.NewGrid(0, 0, roadnet.ExtentKm, roadnet.ExtentKm, *cell)
+	if err != nil {
+		return err
+	}
+	kdeOpt := geo.DefaultKDEOptions()
+	kdeOpt.Workers = *workers
+	if *bandwidth > 0 {
+		kdeOpt.BandwidthKm = *bandwidth
+	}
+	kde, err := geo.FitKDE(g, train, 1, kdeOpt)
+	if err != nil {
+		return err
+	}
+	pers, err := geo.FitPersistence(g, train, 1)
+	if err != nil {
+		return err
+	}
+
+	future := g.Counts(test)
+	futureMass := 0.0
+	for _, c := range future {
+		futureMass += c
+	}
+	fmt.Printf("hotspot grid: %d×%d cells of %.1f km over a %.0f km extent\n",
+		g.NX, g.NY, g.CellKm, roadnet.ExtentKm)
+	fmt.Printf("segments: %d observed, %d train / %d test; next-period crash mass %.0f\n",
+		len(obs), len(train), len(test), futureMass)
+	if *driftShift != 0 {
+		fmt.Printf("concept drift: +%.2f log-risk after row %d\n", *driftShift, *driftAfterRow)
+	}
+
+	fmt.Printf("\nhit-rate (next-period crash mass captured by the top-k cells)\n")
+	fmt.Printf("  %8s %8s %12s %12s\n", "k", "area", "kde", "persistence")
+	ks := []int{*k / 4, *k / 2, *k, *k * 2}
+	for _, kk := range ks {
+		if kk < 1 || kk > g.Cells() {
+			continue
+		}
+		kh, err := eval.HitRateAtK(kde.Risk, future, kk)
+		if err != nil {
+			return err
+		}
+		ph, err := eval.HitRateAtK(pers.Risk, future, kk)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8d %7.1f%% %12.4f %12.4f\n",
+			kk, 100*float64(kk)/float64(g.Cells()), kh, ph)
+	}
+
+	for _, surf := range []*geo.Model{kde, pers} {
+		fmt.Printf("\ntop %d cells (%s):\n", *top, surf.Method)
+		for _, cr := range surf.TopCells(*top) {
+			fmt.Printf("  cell %5d  (%5.1f, %5.1f) km  risk %.4f\n", cr.Cell, cr.XKm, cr.YKm, cr.Risk)
+		}
+	}
+
+	if *export != "" {
+		model := kde
+		if *method == geo.MethodPersistence {
+			model = pers
+		}
+		headlineKde, err := eval.HitRateAtK(kde.Risk, future, *k)
+		if err != nil {
+			return err
+		}
+		headlinePers, err := eval.HitRateAtK(pers.Risk, future, *k)
+		if err != nil {
+			return err
+		}
+		if *name == "" {
+			*name = "grid-" + *method
+		}
+		metrics := map[string]float64{
+			"hit_rate_at_k":             headlineKde,
+			"hit_rate_k":                float64(*k),
+			"hit_rate_at_k_persistence": headlinePers,
+		}
+		if *method == geo.MethodPersistence {
+			metrics["hit_rate_at_k"] = headlinePers
+		}
+		a, err := artifact.New(*name, artifact.KindHotspot, model, geo.Schema(), 0, *seed, "cell_label", metrics)
+		if err != nil {
+			return err
+		}
+		if err := artifact.WriteFile(*export, a); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (model %q, %s surface, %d cells)\n", *export, *name, model.Method, g.Cells())
+	}
 	return nil
 }
 

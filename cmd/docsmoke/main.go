@@ -161,11 +161,18 @@ func extract(path string) ([]string, error) {
 }
 
 // prologue prepares the artifacts documented commands refer to: the study
-// CSVs under data/, a model artifact at m.json and a models/ directory.
+// CSVs under data/, a model artifact at m.json and a models/ directory
+// holding both a crash-proneness model and a hotspot surface, so
+// documented serve and loadgen workflows (including -mode hotspot) have
+// every artifact kind they reference.
 func prologue(bin, scratch string) error {
 	steps := [][]string{
 		{bin, "generate", "-scale", "small", "-out", filepath.Join(scratch, "data")},
 		{bin, "export", "-scale", "small", "-threshold", "8", "-out", filepath.Join(scratch, "m.json")},
+		{bin, "hotspots", "-rows", "20000", "-export", filepath.Join(scratch, "models", "grid-kde.json")},
+	}
+	if err := os.MkdirAll(filepath.Join(scratch, "models"), 0o755); err != nil {
+		return err
 	}
 	for _, step := range steps {
 		cmd := exec.Command(step[0], step[1:]...)
@@ -173,9 +180,6 @@ func prologue(bin, scratch string) error {
 		if out, err := cmd.CombinedOutput(); err != nil {
 			return fmt.Errorf("prologue %v: %v\n%s", step[1:], err, out)
 		}
-	}
-	if err := os.MkdirAll(filepath.Join(scratch, "models"), 0o755); err != nil {
-		return err
 	}
 	src, err := os.ReadFile(filepath.Join(scratch, "m.json"))
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"roadcrash/internal/data"
+	"roadcrash/internal/geo"
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
@@ -52,23 +53,24 @@ const (
 	KindZINB           Kind = "zinb"            // zero-altered Poisson hurdle, scored as P(count > t)
 	KindM5             Kind = "m5"              // M5 model tree with per-leaf ridge regressions
 	KindNeural         Kind = "neural"          // single hidden-layer perceptron
+	KindHotspot        Kind = "hotspot"         // grid-cell risk surface scored on (x_km, y_km)
 )
 
 func (k Kind) valid() bool {
 	switch k {
 	case KindDecisionTree, KindRegressionTree, KindNaiveBayes, KindLogistic, KindBagging, KindAdaBoost,
-		KindZINB, KindM5, KindNeural:
+		KindZINB, KindM5, KindNeural, KindHotspot:
 		return true
 	}
 	return false
 }
 
 // minVersion returns the first format version able to carry the kind: the
-// count/regression learners arrived with version 2, so a version-1
-// artifact claiming one is corrupt by construction.
+// count/regression learners and the hotspot surface arrived with version 2,
+// so a version-1 artifact claiming one is corrupt by construction.
 func (k Kind) minVersion() int {
 	switch k {
-	case KindZINB, KindM5, KindNeural:
+	case KindZINB, KindM5, KindNeural, KindHotspot:
 		return 2
 	}
 	return 1
@@ -234,6 +236,15 @@ func (a *Artifact) Model() (Scorer, error) {
 		s = m
 	case KindNeural:
 		m := new(neural.Model)
+		if err := json.Unmarshal(a.Payload, m); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		if err := m.Validate(len(a.Schema)); err != nil {
+			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
+		}
+		s = m
+	case KindHotspot:
+		m := new(geo.Model)
 		if err := json.Unmarshal(a.Payload, m); err != nil {
 			return nil, fmt.Errorf("artifact %q: %w", a.Name, err)
 		}

@@ -1,6 +1,7 @@
 package compiled
 
 import (
+	"roadcrash/internal/geo"
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
@@ -38,6 +39,10 @@ func Compile(s Scorer) Scorer {
 	case *m5.Model:
 		return m.Compile()
 	case *neural.Model:
+		return m
+	case *geo.Model:
+		// The hotspot risk surface is already a flat per-cell array; its
+		// lookups are their own compiled form.
 		return m
 	}
 	return s

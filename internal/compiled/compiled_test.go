@@ -7,6 +7,7 @@ import (
 	"roadcrash/internal/artifact"
 	"roadcrash/internal/compiled"
 	"roadcrash/internal/data"
+	"roadcrash/internal/geo"
 	"roadcrash/internal/mining/bayes"
 	"roadcrash/internal/mining/ensemble"
 	"roadcrash/internal/mining/logit"
@@ -360,6 +361,39 @@ func TestCompiledBatchScorerErrorsMatch(t *testing.T) {
 		}
 		if errI.Error() != errC.Error() {
 			t.Fatalf("chunk=%d: interpreted error %q, compiled error %q", chunk, errI, errC)
+		}
+	}
+}
+
+// TestCompileHotspotPassThrough pins the hotspot surface's compiled form:
+// the flat per-cell array is its own columnar engine, so Compile passes it
+// through unchanged and the columnar view scores bit-identically to the
+// row path.
+func TestCompileHotspotPassThrough(t *testing.T) {
+	g, err := geo.NewGrid(0, 0, 12, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &geo.Model{
+		Grid:   g,
+		Method: geo.MethodPersistence,
+		Risk:   []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+	}
+	c := compiled.Compile(m)
+	if c != artifact.Scorer(m) {
+		t.Fatalf("hotspot model was not passed through: %T", c)
+	}
+	cs, ok := compiled.Columnar(c)
+	if !ok {
+		t.Fatal("hotspot model is not a ColumnScorer")
+	}
+	xs := []float64{1, 5, 9, 50, math.NaN()}
+	ys := []float64{1, 5, 9, 1, 1}
+	out := make([]float64, len(xs))
+	cs.ScoreColumns([][]float64{xs, ys}, out)
+	for i := range xs {
+		if want := m.PredictProb([]float64{xs[i], ys[i]}); out[i] != want {
+			t.Fatalf("row %d: columnar %v vs row %v", i, out[i], want)
 		}
 	}
 }

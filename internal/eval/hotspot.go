@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hotspot ranking metrics. The grid-cell workload scores every cell of the
+// study region and asks how much of the next period's crash mass the
+// highest-scored cells capture — the operational question behind black-spot
+// programs: if the agency can only treat k sites, how many future crashes
+// happen at the chosen sites?
+
+// topKOrder returns the indices of scores sorted descending, ties broken
+// by the lower index, so rankings are deterministic and independent of
+// sort internals.
+func topKOrder(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// checkRanking validates a score/crash-count pairing for the hit-rate
+// metrics. Crashes are the next-period per-cell crash counts; the metric
+// is undefined when no crash occurred at all, and a NaN score would make
+// the ranking meaningless, so both error crisply.
+func checkRanking(name string, scores, crashes []float64) (total float64, err error) {
+	if len(scores) != len(crashes) {
+		return 0, fmt.Errorf("eval: %s with %d scores but %d cells of crashes", name, len(scores), len(crashes))
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("eval: %s on empty input", name)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			return 0, fmt.Errorf("eval: %s score %d is NaN", name, i)
+		}
+		if crashes[i] < 0 || math.IsNaN(crashes[i]) {
+			return 0, fmt.Errorf("eval: %s crash count %d is %v", name, i, crashes[i])
+		}
+		total += crashes[i]
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("eval: %s undefined with zero next-period crashes", name)
+	}
+	return total, nil
+}
+
+// HitRateAtK returns the fraction of next-period crashes captured by the k
+// highest-scored cells. Ties break on the lower cell index, so equal-score
+// rankings are deterministic.
+func HitRateAtK(scores, crashes []float64, k int) (float64, error) {
+	total, err := checkRanking("HitRateAtK", scores, crashes)
+	if err != nil {
+		return math.NaN(), err
+	}
+	if k <= 0 || k > len(scores) {
+		return math.NaN(), fmt.Errorf("eval: HitRateAtK k=%d outside [1, %d]", k, len(scores))
+	}
+	hit := 0.0
+	for _, i := range topKOrder(scores)[:k] {
+		hit += crashes[i]
+	}
+	return hit / total, nil
+}
+
+// HitRateByArea returns the fraction of next-period crashes captured when
+// covering the given fraction of the cells (area), taking the
+// highest-scored ceil(fraction × cells) cells. fraction must be in (0, 1].
+func HitRateByArea(scores, crashes []float64, fraction float64) (float64, error) {
+	if math.IsNaN(fraction) || fraction <= 0 || fraction > 1 {
+		return math.NaN(), fmt.Errorf("eval: HitRateByArea fraction %v outside (0, 1]", fraction)
+	}
+	if len(scores) == 0 {
+		return math.NaN(), fmt.Errorf("eval: HitRateByArea on empty input")
+	}
+	k := int(math.Ceil(fraction * float64(len(scores))))
+	if k > len(scores) {
+		k = len(scores)
+	}
+	return HitRateAtK(scores, crashes, k)
+}

@@ -15,12 +15,22 @@ type ROCPoint struct {
 
 // ROC computes the ROC curve from positive-class scores and boolean labels.
 // Points are ordered from the most conservative threshold (0,0) to (1,1).
-// It returns an error when the label set is degenerate, because AUC is
-// undefined without both classes — one of Table 2's cautions about highly
-// unbalanced data taken to its limit.
+// It returns an error when the input is empty, when any score is NaN (a
+// NaN never compares, so it would silently sort to an arbitrary rank), or
+// when the label set is degenerate, because AUC is undefined without both
+// classes — one of Table 2's cautions about highly unbalanced data taken
+// to its limit.
 func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
 	if len(scores) != len(labels) {
 		return nil, fmt.Errorf("eval: ROC with %d scores but %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("eval: ROC on empty input")
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			return nil, fmt.Errorf("eval: ROC score %d is NaN", i)
+		}
 	}
 	pos, neg := 0, 0
 	for _, l := range labels {

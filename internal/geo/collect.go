@@ -1,0 +1,95 @@
+package geo
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"roadcrash/internal/data"
+)
+
+// The bookkeeping columns the collector reads. They match the roadnet
+// study schema by name — declared here, like the serving tier's join
+// column, so the spatial layer works on any schema-compatible feed without
+// importing the generator.
+const (
+	xAttr       = "x_km"
+	yAttr       = "y_km"
+	segmentAttr = "segment_id"
+	crashAttr   = "crash_count"
+)
+
+// Observation is one segment's crash record: its stable coordinate and
+// the crash count it accumulated over the observation window.
+type Observation struct {
+	X, Y    float64
+	Crashes float64
+}
+
+// CollectSegments drains a batch reader in the study row schema and
+// collapses each segment's per-year rows (adjacent rows sharing a segment
+// id) into one Observation. Rows with a missing coordinate are dropped —
+// they cannot land in a cell.
+func CollectSegments(br data.BatchReader) ([]Observation, error) {
+	cols := map[string]int{xAttr: -1, yAttr: -1, segmentAttr: -1, crashAttr: -1}
+	for j, a := range br.Attrs() {
+		if _, want := cols[a.Name]; want {
+			cols[a.Name] = j
+		}
+	}
+	for name, j := range cols {
+		if j < 0 {
+			return nil, fmt.Errorf("geo: feed schema lacks the %q column", name)
+		}
+	}
+	xCol, yCol := cols[xAttr], cols[yAttr]
+	idCol, crashCol := cols[segmentAttr], cols[crashAttr]
+
+	var obs []Observation
+	haveID := false
+	lastID := math.NaN()
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			return obs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("geo: reading feed: %w", err)
+		}
+		for i := 0; i < b.Len(); i++ {
+			id := b.At(i, idCol)
+			if haveID && id == lastID {
+				continue // another year row of the same segment
+			}
+			haveID, lastID = true, id
+			x, y := b.At(i, xCol), b.At(i, yCol)
+			if data.IsMissing(x) || data.IsMissing(y) {
+				continue
+			}
+			crashes := b.At(i, crashCol)
+			if data.IsMissing(crashes) || crashes < 0 {
+				crashes = 0
+			}
+			obs = append(obs, Observation{X: x, Y: y, Crashes: crashes})
+		}
+	}
+}
+
+// SplitObservations divides observations into a training period (the
+// first ceil(frac·n) segments) and an evaluation period (the rest). The
+// scenario stream draws segments independently, so the split point is the
+// period boundary: the training period fits the scorers, the evaluation
+// period provides the next-period labels.
+func SplitObservations(obs []Observation, frac float64) (train, test []Observation, err error) {
+	if math.IsNaN(frac) || frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("geo: split fraction %v outside (0, 1)", frac)
+	}
+	if len(obs) < 2 {
+		return nil, nil, fmt.Errorf("geo: %d observations cannot form two periods", len(obs))
+	}
+	cut := int(math.Ceil(frac * float64(len(obs))))
+	if cut >= len(obs) {
+		cut = len(obs) - 1
+	}
+	return obs[:cut], obs[cut:], nil
+}

@@ -1,0 +1,153 @@
+package geo
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"testing"
+
+	"roadcrash/internal/data"
+)
+
+// fakeReader is a BatchReader whose schema lacks the coordinate columns.
+type fakeReader struct{}
+
+func (f *fakeReader) Next() (*data.Batch, error) { return nil, io.EOF }
+func (f *fakeReader) Attrs() []data.Attribute {
+	return []data.Attribute{{Name: "aadt", Kind: data.Interval}}
+}
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	g, err := NewGrid(0, 0, 10, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Model{
+		Grid:   g,
+		Method: MethodPersistence,
+		Risk:   []float64{0.1, 0.9, 0.9, 0.4},
+	}
+}
+
+func TestModelPredictProb(t *testing.T) {
+	m := testModel(t)
+	cases := []struct {
+		row  []float64
+		want float64
+	}{
+		{[]float64{1, 1}, 0.1},
+		{[]float64{7, 1}, 0.9},
+		{[]float64{1, 7}, 0.9},
+		{[]float64{7, 7}, 0.4},
+		{[]float64{50, 50}, 0},        // outside the grid
+		{[]float64{math.NaN(), 1}, 0}, // missing coordinate
+		{[]float64{1}, 0},             // short row cannot be scored
+	}
+	for _, c := range cases {
+		if got := m.PredictProb(c.row); got != c.want {
+			t.Errorf("PredictProb(%v) = %v, want %v", c.row, got, c.want)
+		}
+	}
+}
+
+// TestModelColumnarBitIdentical pins the compiled-layer contract: the
+// columnar path returns exactly the row path's probabilities.
+func TestModelColumnarBitIdentical(t *testing.T) {
+	m := testModel(t)
+	xs := []float64{1, 7, 1, 7, 50, math.NaN(), 2.5}
+	ys := []float64{1, 1, 7, 7, 50, 1, 5}
+	out := make([]float64, len(xs))
+	m.ScoreColumns([][]float64{xs, ys}, out)
+	for i := range xs {
+		want := m.PredictProb([]float64{xs[i], ys[i]})
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: columnar %v vs row-path %v", i, out[i], want)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := testModel(t)
+	if err := m.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(3); err == nil {
+		t.Error("wrong column count should error")
+	}
+	bad := testModel(t)
+	bad.Risk = bad.Risk[:3]
+	if err := bad.Validate(2); err == nil {
+		t.Error("risk/cell mismatch should error")
+	}
+	bad = testModel(t)
+	bad.Risk[1] = 1.5
+	if err := bad.Validate(2); err == nil {
+		t.Error("risk outside [0,1] should error")
+	}
+	bad = testModel(t)
+	bad.Risk[1] = math.NaN()
+	if err := bad.Validate(2); err == nil {
+		t.Error("NaN risk should error")
+	}
+	bad = testModel(t)
+	bad.Method = "voodoo"
+	if err := bad.Validate(2); err == nil {
+		t.Error("unknown method should error")
+	}
+	bad = testModel(t)
+	bad.Method = MethodKDE // kde requires a bandwidth
+	if err := bad.Validate(2); err == nil {
+		t.Error("kde without bandwidth should error")
+	}
+	bad = testModel(t)
+	bad.Grid.CellKm = 0
+	if err := bad.Validate(2); err == nil {
+		t.Error("degenerate grid should error")
+	}
+}
+
+func TestTopCells(t *testing.T) {
+	m := testModel(t)
+	top := m.TopCells(2)
+	if len(top) != 2 {
+		t.Fatalf("TopCells(2) returned %d cells", len(top))
+	}
+	// Cells 1 and 2 tie at 0.9: the lower index ranks first.
+	if top[0].Cell != 1 || top[1].Cell != 2 {
+		t.Fatalf("top cells = %d, %d; want 1, 2 (tie broken by index)", top[0].Cell, top[1].Cell)
+	}
+	if x, y := m.Grid.Center(1); top[0].XKm != x || top[0].YKm != y {
+		t.Fatalf("top cell center = (%v, %v), want (%v, %v)", top[0].XKm, top[0].YKm, x, y)
+	}
+	// k beyond the cell count clamps; k <= 0 is empty.
+	if got := m.TopCells(100); len(got) != 4 {
+		t.Fatalf("TopCells(100) returned %d cells", len(got))
+	}
+	if got := m.TopCells(0); got != nil {
+		t.Fatalf("TopCells(0) = %v, want nil", got)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := testModel(t)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid != m.Grid || back.Method != m.Method || len(back.Risk) != len(m.Risk) {
+		t.Fatalf("round trip changed the model: %+v vs %+v", back, m)
+	}
+	for c := range m.Risk {
+		if back.Risk[c] != m.Risk[c] {
+			t.Fatalf("cell %d risk drifted: %v vs %v", c, back.Risk[c], m.Risk[c])
+		}
+	}
+}

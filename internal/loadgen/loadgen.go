@@ -40,15 +40,19 @@ const (
 	ModeStream Mode = "stream"
 	// ModeMixed alternates batch and stream requests per worker.
 	ModeMixed Mode = "mixed"
+	// ModeHotspot drives GET /hotspots only — the top-k ranking read path,
+	// which carries no request body and exercises the serving tier's
+	// cheapest endpoint at full concurrency.
+	ModeHotspot Mode = "hotspot"
 )
 
 // ParseMode validates a -mode flag value.
 func ParseMode(s string) (Mode, error) {
 	switch Mode(s) {
-	case ModeBatch, ModeStream, ModeMixed:
+	case ModeBatch, ModeStream, ModeMixed, ModeHotspot:
 		return Mode(s), nil
 	}
-	return "", fmt.Errorf("loadgen: unknown mode %q (want batch, stream or mixed)", s)
+	return "", fmt.Errorf("loadgen: unknown mode %q (want batch, stream, mixed or hotspot)", s)
 }
 
 // Options configures a load run. Zero fields select defaults.
@@ -81,6 +85,9 @@ type Options struct {
 	BatchRows int
 	// StreamRows is the row count per /score/stream request (default 4096).
 	StreamRows int
+	// HotspotK is the cell count each hotspot-mode request asks for
+	// (default 16). Ignored outside ModeHotspot.
+	HotspotK int
 	// Seed makes the synthetic traffic deterministic per worker.
 	Seed uint64
 	// Weather selects the scenario regime of the generated rows.
@@ -130,6 +137,9 @@ func (o Options) withDefaults() Options {
 	if o.StreamRows <= 0 {
 		o.StreamRows = 4096
 	}
+	if o.HotspotK <= 0 {
+		o.HotspotK = 16
+	}
 	if o.Seed == 0 {
 		o.Seed = 20110322
 	}
@@ -178,6 +188,9 @@ type Report struct {
 	DurationSeconds float64         `json:"duration_seconds"`
 	Batch           *EndpointReport `json:"score,omitempty"`
 	Stream          *EndpointReport `json:"score_stream,omitempty"`
+	// Hotspots aggregates GET /hotspots requests of a hotspot-mode run;
+	// its RowsScored counts ranked cells returned.
+	Hotspots        *EndpointReport `json:"hotspots,omitempty"`
 	// Feedback aggregates the delayed-label POST /feedback requests of a
 	// feedback-enabled run; its RowsScored counts labels the server
 	// matched to recorded scores.
@@ -268,10 +281,13 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 	if opt.Mode == ModeStream || opt.Mode == ModeMixed {
 		rep.Stream = summarize(samples, "stream", elapsed)
 	}
+	if opt.Mode == ModeHotspot {
+		rep.Hotspots = summarize(samples, "hotspots", elapsed)
+	}
 	if opt.Feedback {
 		rep.Feedback = summarize(samples, "feedback", elapsed)
 	}
-	for _, er := range []*EndpointReport{rep.Batch, rep.Stream} {
+	for _, er := range []*EndpointReport{rep.Batch, rep.Stream, rep.Hotspots} {
 		if er != nil {
 			rep.TotalRows += er.RowsScored
 		}
@@ -354,14 +370,28 @@ func worker(ctx context.Context, opt Options, model string, sendNames map[string
 		}
 		return stream
 	}
+	if opt.Mode == ModeHotspot {
+		// The ranking endpoint needs no scenario traffic: every request is
+		// the same parameterized GET.
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			record(withRetry(ctx, opt, func() (sample, time.Duration) {
+				return hotspotRequest(ctx, target, model, opt.HotspotK)
+			}))
+		}
+	}
 	var batchSrc, streamSrc *roadnet.ScenarioStream
 	var include []includeColumn
 	bc := &batchClient{}
-	if opt.Mode != ModeStream {
+	if opt.Mode == ModeBatch || opt.Mode == ModeMixed {
 		batchSrc = mkStream(opt.BatchRows, 2*uint64(id))
 		include = includeColumns(batchSrc.Attrs(), sendNames)
 	}
-	if opt.Mode != ModeBatch {
+	if opt.Mode == ModeStream || opt.Mode == ModeMixed {
 		streamSrc = mkStream(opt.StreamRows, 2*uint64(id)+1)
 		include = includeColumns(streamSrc.Attrs(), sendNames)
 	}
@@ -774,6 +804,47 @@ func streamRequest(ctx context.Context, baseURL, model string, b *data.Batch, in
 		return s, -1
 	}
 	s.rows = rows
+	s.ok = true
+	return s, -1
+}
+
+// hotspotRequest sends one GET /hotspots and counts the ranked cells it
+// returns. The second return is the server's Retry-After hint (-1 when
+// absent).
+func hotspotRequest(ctx context.Context, baseURL, model string, k int) (sample, time.Duration) {
+	url := baseURL + "/hotspots?model=" + model + "&k=" + strconv.Itoa(k)
+	start := time.Now()
+	s := sample{endpoint: "hotspots", status: "transport"}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		s.latency = time.Since(start)
+		return s, -1
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		s.latency = time.Since(start)
+		s.aborted = ctx.Err() != nil
+		return s, -1
+	}
+	defer resp.Body.Close()
+	s.status = strconv.Itoa(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.latency = time.Since(start)
+		return s, retryAfterHint(resp)
+	}
+	var out struct {
+		K     int               `json:"k"`
+		Cells []json.RawMessage `json:"cells"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	s.latency = time.Since(start)
+	if err != nil || len(out.Cells) != out.K {
+		s.status = "truncated"
+		s.aborted = ctx.Err() != nil
+		return s, -1
+	}
+	s.rows = int64(len(out.Cells))
 	s.ok = true
 	return s, -1
 }

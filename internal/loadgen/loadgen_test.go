@@ -19,6 +19,7 @@ import (
 	"roadcrash/internal/artifact"
 	"roadcrash/internal/core"
 	"roadcrash/internal/data"
+	"roadcrash/internal/geo"
 	"roadcrash/internal/roadnet"
 	"roadcrash/internal/serve"
 )
@@ -653,5 +654,110 @@ func TestReadAll(t *testing.T) {
 	}
 	if _, err := readAll(io.MultiReader(strings.NewReader("partial"), iotest.ErrReader(io.ErrUnexpectedEOF)), nil); err != io.ErrUnexpectedEOF {
 		t.Fatalf("readAll error passthrough = %v", err)
+	}
+}
+
+// hotspotService serves one fitted hotspot artifact for hotspot-mode runs.
+func hotspotService(t *testing.T) *httptest.Server {
+	t.Helper()
+	opt := roadnet.DefaultScenarioOptions(8000)
+	opt.Seed = 5
+	stream, err := roadnet.NewScenarioStream(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := geo.CollectSegments(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := geo.NewGrid(0, 0, roadnet.ExtentKm, roadnet.ExtentKm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := geo.FitKDE(g, obs, 1, geo.DefaultKDEOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := artifact.New("grid-kde", artifact.KindHotspot, m, geo.Schema(), 0, 5, "cell_label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewServer(reg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunHotspotMode drives GET /hotspots: the model resolves from
+// /models like every other workload, each request returns exactly
+// HotspotK ranked cells, and the run is error-free.
+func TestRunHotspotMode(t *testing.T) {
+	srv := hotspotService(t)
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        ModeHotspot,
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		HotspotK:    24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != "grid-kde" || rep.Hotspots == nil || rep.Batch != nil || rep.Stream != nil {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	er := rep.Hotspots
+	if er.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if er.Errors != 0 {
+		t.Fatalf("%d errors against a healthy service: %v", er.Errors, er.StatusCounts)
+	}
+	if want := 24 * int64(er.Requests); er.RowsScored != want {
+		t.Fatalf("ranked cells %d, want %d (24 per request over %d requests)", er.RowsScored, want, er.Requests)
+	}
+	if rep.TotalRows != er.RowsScored {
+		t.Fatalf("total rows %d != hotspot cells %d", rep.TotalRows, er.RowsScored)
+	}
+	l := er.LatencyMS
+	if l.P50 <= 0 || l.P50 > l.P95 || l.P95 > l.Max {
+		t.Fatalf("malformed latency summary %+v", l)
+	}
+}
+
+// TestHotspotRequestErrorPaths exercises the hotspot client's failure
+// accounting directly: server errors keep their status, and a body that
+// does not carry the promised k cells counts as truncated.
+func TestHotspotRequestErrorPaths(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hotspots", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("model") {
+		case "boom":
+			http.Error(w, "exploded", http.StatusInternalServerError)
+		case "garbage":
+			io.WriteString(w, "not json")
+		case "short":
+			io.WriteString(w, `{"k":5,"cells":[{"cell":1}]}`)
+		default:
+			io.WriteString(w, `{"k":1,"cells":[{"cell":1}]}`)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	ctx := context.Background()
+	if s, _ := hotspotRequest(ctx, srv.URL, "boom", 5); s.ok || s.status != "500" {
+		t.Fatalf("500 response: %+v", s)
+	}
+	for _, model := range []string{"garbage", "short"} {
+		if s, _ := hotspotRequest(ctx, srv.URL, model, 5); s.ok || s.status != "truncated" {
+			t.Fatalf("%s response: %+v", model, s)
+		}
+	}
+	s, _ := hotspotRequest(ctx, srv.URL, "ok", 1)
+	if !s.ok || s.rows != 1 || s.endpoint != "hotspots" {
+		t.Fatalf("good response: %+v", s)
 	}
 }

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/engine"
+	"roadcrash/internal/mining/encode"
+)
+
+// Noise is the DBSCAN assignment of points that belong to no cluster.
+const Noise = -1
+
+// DBSCANConfig controls a density-based clustering run. Distances are
+// Euclidean in the encoder's standardized design, the same space k-means
+// uses, so Eps is in standard-deviation units.
+type DBSCANConfig struct {
+	// Eps is the neighborhood radius.
+	Eps float64
+	// MinPts is the minimum neighborhood size (including the point itself)
+	// for a point to be a core point.
+	MinPts int
+	// Exclude lists attributes left out of the distance space.
+	Exclude []string
+	// Workers bounds the goroutines fanning out the neighbor queries; <= 0
+	// means GOMAXPROCS. The clustering is independent of the worker count.
+	Workers int
+}
+
+// DefaultDBSCANConfig gives a reasonable starting density for standardized
+// features: a point is core when 8 neighbors fall within one standard
+// deviation's radius.
+func DefaultDBSCANConfig() DBSCANConfig {
+	return DBSCANConfig{Eps: 1, MinPts: 8}
+}
+
+func (c DBSCANConfig) validate() error {
+	if math.IsNaN(c.Eps) || c.Eps <= 0 {
+		return fmt.Errorf("cluster: Eps must be positive, got %v", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("cluster: MinPts must be at least 1, got %d", c.MinPts)
+	}
+	return nil
+}
+
+// DBSCANResult is a fitted density clustering. Assignment holds a cluster
+// index per instance, or Noise.
+type DBSCANResult struct {
+	Assignment []int
+	Clusters   int
+	Sizes      []int // per-cluster member counts, indexed by cluster
+	NoiseCount int
+	enc        *encode.Encoder
+}
+
+// DBSCAN clusters the dataset by density. The expensive O(n²) neighbor
+// queries fan out over the engine worker pool; the cluster expansion that
+// follows is serial and scans points in index order, so the labelling is
+// bit-identical regardless of Workers — the same determinism contract the
+// k-means restarts honor.
+func DBSCAN(ds *data.Dataset, cfg DBSCANConfig) (*DBSCANResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("cluster: DBSCAN on an empty dataset")
+	}
+	enc, err := encode.Fit(ds, encode.Options{Exclude: cfg.Exclude})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	points := enc.Matrix(ds)
+	eps2 := cfg.Eps * cfg.Eps
+	// Each point's neighborhood (which includes itself at distance 0) is
+	// independent of every other, so the queries parallelize freely and
+	// engine.Map returns them in index order.
+	neighbors, err := engine.Map(cfg.Workers, len(points), func(i int) ([]int32, error) {
+		p := points[i]
+		var out []int32
+		for j, q := range points {
+			if sqDist(p, q) <= eps2 {
+				out = append(out, int32(j))
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	const unvisited = -2
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = unvisited
+	}
+	res := &DBSCANResult{Assignment: assign, enc: enc}
+	for i := range points {
+		if assign[i] != unvisited {
+			continue
+		}
+		if len(neighbors[i]) < cfg.MinPts {
+			assign[i] = Noise // may be claimed later as a border point
+			continue
+		}
+		c := res.Clusters
+		res.Clusters++
+		assign[i] = c
+		// Expand the cluster breadth-first. The frontier grows only with
+		// core points' neighbor lists, appended in discovery order, so the
+		// expansion — and hence every label — is deterministic.
+		frontier := append([]int32(nil), neighbors[i]...)
+		for head := 0; head < len(frontier); head++ {
+			j := int(frontier[head])
+			if assign[j] == Noise {
+				assign[j] = c // border point: density-reachable, not core
+				continue
+			}
+			if assign[j] != unvisited {
+				continue
+			}
+			assign[j] = c
+			if len(neighbors[j]) >= cfg.MinPts {
+				frontier = append(frontier, neighbors[j]...)
+			}
+		}
+	}
+
+	res.Sizes = make([]int, res.Clusters)
+	for _, a := range assign {
+		if a == Noise {
+			res.NoiseCount++
+			continue
+		}
+		res.Sizes[a]++
+	}
+	return res, nil
+}
+
+// Members returns the instance indices of cluster c.
+func (r *DBSCANResult) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assignment {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// GroupColumn splits the values of a dataset column by cluster, skipping
+// noise points and missing values — the same per-cluster profiling input
+// the k-means Result produces.
+func (r *DBSCANResult) GroupColumn(col []float64) [][]float64 {
+	groups := make([][]float64, r.Clusters)
+	for i, a := range r.Assignment {
+		if a == Noise {
+			continue
+		}
+		v := col[i]
+		if data.IsMissing(v) {
+			continue
+		}
+		groups[a] = append(groups[a], v)
+	}
+	return groups
+}

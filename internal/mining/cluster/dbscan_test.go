@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"testing"
+
+	"roadcrash/internal/data"
+	"roadcrash/internal/rng"
+)
+
+// blobsWithNoise adds uniform scatter around the blobs so DBSCAN has
+// genuine noise to reject.
+func blobsWithNoise(perBlob int, centers [][2]float64, scatter int, seed uint64) *data.Dataset {
+	r := rng.New(seed)
+	b := data.NewBuilder("noisy").Interval("x").Interval("y").Interval("label")
+	for li, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			b.Row(c[0]+r.Normal(0, 0.3), c[1]+r.Normal(0, 0.3), float64(li))
+		}
+	}
+	for i := 0; i < scatter; i++ {
+		b.Row(r.Float64()*40-20, r.Float64()*40-20, -1)
+	}
+	return b.Build()
+}
+
+func TestDBSCANRecoversBlobsAndNoise(t *testing.T) {
+	centers := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	ds := blobsWithNoise(150, centers, 30, 1)
+	cfg := DefaultDBSCANConfig()
+	cfg.Eps = 0.35
+	cfg.MinPts = 6
+	cfg.Exclude = []string{"label"}
+	res, err := DBSCAN(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 3 {
+		t.Fatalf("found %d clusters, want 3 (sizes %v, noise %d)",
+			res.Clusters, res.Sizes, res.NoiseCount)
+	}
+	if res.NoiseCount == 0 {
+		t.Fatal("no noise rejected despite uniform scatter")
+	}
+	// Every recovered cluster must be label-pure.
+	labels, _ := ds.ColByName("label")
+	for c := 0; c < res.Clusters; c++ {
+		members := res.Members(c)
+		if len(members) == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+		first := labels[members[0]]
+		for _, i := range members {
+			if labels[i] != first {
+				t.Fatalf("cluster %d mixes labels", c)
+			}
+		}
+	}
+	// Accounting: sizes plus noise cover the dataset.
+	total := res.NoiseCount
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != ds.Len() {
+		t.Fatalf("sizes + noise = %d, want %d", total, ds.Len())
+	}
+}
+
+// TestDBSCANDeterministicAcrossWorkers pins the determinism contract: the
+// full labelling is identical for Workers 1, 2 and 8, because only the
+// neighbor queries parallelize and the expansion is serial.
+func TestDBSCANDeterministicAcrossWorkers(t *testing.T) {
+	ds := blobsWithNoise(120, [][2]float64{{0, 0}, {7, 7}, {-7, 7}, {7, -7}}, 60, 2)
+	cfg := DefaultDBSCANConfig()
+	cfg.Eps = 0.4
+	cfg.MinPts = 5
+	cfg.Exclude = []string{"label"}
+	cfg.Workers = 1
+	ref, err := DBSCAN(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		got, err := DBSCAN(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Clusters != ref.Clusters || got.NoiseCount != ref.NoiseCount {
+			t.Fatalf("workers=%d: %d clusters/%d noise vs %d/%d",
+				workers, got.Clusters, got.NoiseCount, ref.Clusters, ref.NoiseCount)
+		}
+		for i := range ref.Assignment {
+			if got.Assignment[i] != ref.Assignment[i] {
+				t.Fatalf("workers=%d: assignment differs at %d: %d vs %d",
+					workers, i, got.Assignment[i], ref.Assignment[i])
+			}
+		}
+	}
+}
+
+func TestDBSCANBorderPointsJoinClusters(t *testing.T) {
+	// A tight core chain with one point just inside a core's reach: the
+	// border point joins the cluster even though it is not core itself.
+	b := data.NewBuilder("border").Interval("x")
+	b.Row(0.0).Row(0.1).Row(0.2).Row(0.3).Row(0.75).Row(5.0)
+	ds := b.Build()
+	cfg := DBSCANConfig{Eps: 0.5, MinPts: 3}
+	res, err := DBSCAN(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1 (assignment %v)", res.Clusters, res.Assignment)
+	}
+	// Note the encoder standardizes x, so reason via relative structure:
+	// the first five points chain together, the last is isolated noise.
+	for i := 0; i < 5; i++ {
+		if res.Assignment[i] != 0 {
+			t.Fatalf("point %d = %d, want cluster 0 (assignment %v)", i, res.Assignment[i], res.Assignment)
+		}
+	}
+	if res.Assignment[5] != Noise {
+		t.Fatalf("isolated point assigned %d, want noise", res.Assignment[5])
+	}
+}
+
+func TestDBSCANGroupColumnSkipsNoiseAndMissing(t *testing.T) {
+	b := data.NewBuilder("gm").Interval("x").Interval("v")
+	b.Row(0, 1).Row(0.01, data.Missing).Row(0.02, 3).Row(50, 99)
+	ds := b.Build()
+	cfg := DBSCANConfig{Eps: 0.5, MinPts: 2, Exclude: []string{"v"}}
+	res, err := DBSCAN(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 || res.NoiseCount != 1 {
+		t.Fatalf("clusters=%d noise=%d, want 1/1", res.Clusters, res.NoiseCount)
+	}
+	vals, _ := ds.ColByName("v")
+	groups := res.GroupColumn(vals)
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("groups = %v, want one group of 2 (noise and missing skipped)", groups)
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	ds := blobs(5, [][2]float64{{0, 0}}, 3)
+	if _, err := DBSCAN(ds, DBSCANConfig{Eps: 0, MinPts: 3}); err == nil {
+		t.Error("Eps=0 should error")
+	}
+	if _, err := DBSCAN(ds, DBSCANConfig{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("MinPts=0 should error")
+	}
+	cfg := DefaultDBSCANConfig()
+	cfg.Exclude = []string{"ghost"}
+	if _, err := DBSCAN(ds, cfg); err == nil {
+		t.Error("unknown exclusion should error")
+	}
+	empty := data.NewBuilder("e").Interval("x").Build()
+	if _, err := DBSCAN(empty, DefaultDBSCANConfig()); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+// TestKMeansRestartSeedTable pins the restart path byte-for-byte: every
+// (Restarts, Workers) pair in the table reproduces the serial Workers=1
+// fit exactly, including Restarts=1 with Workers>1 — the single restart
+// must take the same engine path and the same seed as a serial run.
+func TestKMeansRestartSeedTable(t *testing.T) {
+	ds := blobs(120, [][2]float64{{0, 0}, {6, 0}, {0, 6}}, 13)
+	base := DefaultConfig()
+	base.K = 3
+	base.Exclude = []string{"label"}
+	for _, restarts := range []int{1, 2, 5} {
+		cfg := base
+		cfg.Restarts = restarts
+		cfg.Workers = 1
+		ref, err := Run(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			cfg.Workers = workers
+			got, err := Run(ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Inertia != ref.Inertia || got.Iterations != ref.Iterations {
+				t.Fatalf("restarts=%d workers=%d: inertia/iterations %v/%d vs %v/%d",
+					restarts, workers, got.Inertia, got.Iterations, ref.Inertia, ref.Iterations)
+			}
+			for i := range ref.Assignment {
+				if got.Assignment[i] != ref.Assignment[i] {
+					t.Fatalf("restarts=%d workers=%d: assignment differs at %d", restarts, workers, i)
+				}
+			}
+			for c := range ref.Centroids {
+				for j := range ref.Centroids[c] {
+					if got.Centroids[c][j] != ref.Centroids[c][j] {
+						t.Fatalf("restarts=%d workers=%d: centroid %d drifts", restarts, workers, c)
+					}
+				}
+			}
+		}
+	}
+}

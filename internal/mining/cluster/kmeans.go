@@ -77,20 +77,25 @@ func Run(ds *data.Dataset, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	points := enc.Matrix(ds)
-	if cfg.Restarts <= 1 {
-		return runOnce(points, enc, cfg, cfg.Seed), nil
-	}
 	// Restart 0 reuses cfg.Seed itself, so best-of-N is never worse than
 	// the single-run fit; the rest draw derived seeds up front from the
 	// parent stream so each restart is reproducible independently of
-	// scheduling.
-	seeds := make([]uint64, cfg.Restarts)
-	seeds[0] = cfg.Seed
-	seedSrc := rng.New(cfg.Seed)
-	for i := 1; i < len(seeds); i++ {
-		seeds[i] = seedSrc.Uint64()
+	// scheduling. Restarts <= 1 takes the same engine path with the single
+	// seed — engine.Map inlines n=1, so Workers cannot perturb the fit and
+	// the result is byte-identical to a serial run.
+	restarts := cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
 	}
-	fits, err := engine.Map(cfg.Workers, cfg.Restarts, func(i int) (*Result, error) {
+	seeds := make([]uint64, restarts)
+	seeds[0] = cfg.Seed
+	if restarts > 1 {
+		seedSrc := rng.New(cfg.Seed)
+		for i := 1; i < len(seeds); i++ {
+			seeds[i] = seedSrc.Uint64()
+		}
+	}
+	fits, err := engine.Map(cfg.Workers, restarts, func(i int) (*Result, error) {
 		return runOnce(points, enc, cfg, seeds[i]), nil
 	})
 	if err != nil {

@@ -24,6 +24,14 @@ type Source struct {
 // produce unrelated streams.
 func New(seed uint64) *Source {
 	r := &Source{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the stream in place from seed, exactly as New does —
+// the allocation-free form for hot paths that derive many short-lived
+// streams from a stack-allocated Source.
+func (r *Source) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -36,7 +44,7 @@ func New(seed uint64) *Source {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.spare, r.hasSpare = 0, false
 }
 
 // Split derives an independent child stream. The child is seeded from the

@@ -27,6 +27,8 @@ const (
 	AttrCurvature  = "curvature"
 	AttrGradient   = "gradient"
 	AttrWetExpo    = "wet_exposure"
+	AttrXKm        = "x_km"
+	AttrYKm        = "y_km"
 	AttrSegmentID  = "segment_id"
 	AttrYear       = "crash_year"
 	AttrWetCrash   = "wet_crash"
@@ -97,7 +99,8 @@ func defaultMissingRates() map[string]float64 {
 // StudyAttrs returns the study row schema — the attribute layout of every
 // dataset and stream this package produces. Streaming consumers use it as
 // the NDJSON feed schema so bookkeeping columns (segment id, crash year,
-// wet flag) are accepted alongside the modeling attributes.
+// wet flag) and the planar coordinates (x_km, y_km — the hotspot grid's
+// inputs) are accepted alongside the modeling attributes.
 func StudyAttrs() []data.Attribute {
 	return newSchema("study").Build().Attrs()
 }
@@ -119,6 +122,8 @@ func newSchema(name string) *data.Builder {
 		Interval(AttrCurvature).
 		Interval(AttrGradient).
 		Interval(AttrWetExpo).
+		Interval(AttrXKm).
+		Interval(AttrYKm).
 		Interval(AttrYear).
 		Binary(AttrWetCrash).
 		Interval(CrashCountAttr)
@@ -149,6 +154,8 @@ func appendSegmentValues(dst []float64, s *Segment, miss map[string]bool) []floa
 		s.CurveDeg,
 		s.GradientPct,
 		s.WetExposure,
+		s.XKm,
+		s.YKm,
 	)
 	base := len(dst)
 	if miss[AttrTexture] {
@@ -169,8 +176,8 @@ func appendSegmentValues(dst []float64, s *Segment, miss map[string]bool) []floa
 // applySurveyJitter perturbs the per-segment values for one instance as if
 // the road attributes came from the survey nearest the crash year. yearIdx
 // is the 0-based observation year (use the window midpoint for no-crash
-// instances). Indices follow segmentValues' layout. Missing values stay
-// missing.
+// instances). Indices follow segmentValues' layout; coordinates (indices
+// 15, 16) are surveyed once and stay fixed. Missing values stay missing.
 func applySurveyJitter(r *rng.Source, v []float64, yearIdx, scale float64) {
 	if scale <= 0 {
 		return

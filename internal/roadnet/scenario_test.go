@@ -38,7 +38,7 @@ func TestScenarioStreamShapeAndDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s1.Attrs()) != 18 || s1.Attrs()[0].Name != AttrSegmentID {
+	if len(s1.Attrs()) != 20 || s1.Attrs()[0].Name != AttrSegmentID {
 		t.Fatalf("schema = %v", s1.Attrs())
 	}
 	rows := drainScenario(t, s1)
@@ -75,7 +75,7 @@ func TestScenarioStreamSegmentYearStructure(t *testing.T) {
 	opt := DefaultScenarioOptions(40)
 	opt.ChunkSize = 7
 	rows := drainScenario(t, mustScenario(t, opt))
-	idCol, yearCol, countCol := 0, 15, 17
+	idCol, yearCol, countCol := 0, 17, 19
 	for i, row := range rows {
 		wantID := float64(i / opt.Years)
 		wantYear := float64(opt.FirstYear + i%opt.Years)
@@ -99,7 +99,7 @@ func mustScenario(t *testing.T, opt ScenarioOptions) *ScenarioStream {
 }
 
 func TestScenarioStreamWeatherRegimes(t *testing.T) {
-	wetCol := 16
+	wetCol := 18
 	count := func(rows [][]float64) (wet, dry int) {
 		for _, row := range rows {
 			if row[wetCol] == 1 {
@@ -182,7 +182,7 @@ func TestScenarioStreamConceptDrift(t *testing.T) {
 	drifted.DriftRiskShift = 1.5
 	rows := drainScenario(t, mustScenario(t, drifted))
 
-	countCol := 17
+	countCol := 19
 	if name := mustScenario(t, opt).Attrs()[countCol].Name; name != CrashCountAttr {
 		t.Fatalf("column %d is %q, want %q", countCol, name, CrashCountAttr)
 	}

@@ -59,6 +59,8 @@ type Segment struct {
 	CurveDeg    float64     // horizontal curvature, deg/km
 	GradientPct float64     // longitudinal gradient, %
 	WetExposure float64     // fraction of wet-weather days
+	XKm         float64     // stable midpoint easting on the study region, km
+	YKm         float64     // stable midpoint northing on the study region, km
 
 	// Outcomes of the counting process.
 	Risk       float64 // latent log-rate of the 4-year crash process
@@ -228,6 +230,11 @@ func genAttributes(r *rng.Source, id int) Segment {
 	}
 
 	s.WetExposure = r.Beta(2.2, 8.5) // mean ~0.21 of days wet
+
+	// Placement draws from a private per-id stream (see space.go), so the
+	// shared attribute stream consumes exactly what it did before segments
+	// had coordinates.
+	s.XKm, s.YKm = placeSegment(id, class)
 
 	return s
 }

@@ -1,0 +1,71 @@
+package roadnet
+
+import (
+	"math"
+
+	"roadcrash/internal/rng"
+)
+
+// The synthetic network lives on a planar study region of ExtentKm ×
+// ExtentKm kilometres. Each 1 km segment carries a stable midpoint
+// coordinate: the placement is a pure function of the segment id and its
+// road class, drawn from a private RNG stream that never touches the
+// attribute, risk or counting streams — adding space to the generator
+// therefore changes no previously pinned draw.
+const ExtentKm = 96.0
+
+// coordSalt seeds the per-segment placement stream. It is mixed with the
+// segment id so every id owns an unrelated stream (rng.New splitmixes the
+// seed, so nearby ids do not correlate).
+const coordSalt = 0x67656f5f76313000 // "geo_v10\0"
+
+// townCenters are the fixed activity centers of the study region. Busier
+// road classes (urban arterials, motorways) cluster around them, which is
+// what gives the crash process its spatial hotspot structure: risk rises
+// with traffic, so crash density concentrates near the centers instead of
+// spreading uniformly.
+var townCenters = [...][2]float64{
+	{18, 22}, {70, 16}, {48, 52}, {82, 74}, {24, 78}, {58, 88},
+}
+
+// placementSpread is the per-class standard deviation (km) of a segment's
+// offset from its town center. Minor rural roads (class 0) ignore the
+// centers entirely and spread uniformly.
+var placementSpread = [...]float64{0, 15, 4.5, 8}
+
+// placeSegment returns the stable midpoint coordinate of segment id for
+// the given road class. Coordinates are rounded to 10 m asset-register
+// precision, matching the quantization applied to the other recorded
+// attributes.
+func placeSegment(id, class int) (x, y float64) {
+	// Stack-allocated source: the scenario stream places one segment per
+	// Years rows and must stay allocation-free in steady state.
+	var r rng.Source
+	r.Reseed(coordSalt + uint64(id))
+	if class == 0 {
+		x = r.Float64() * ExtentKm
+		y = r.Float64() * ExtentKm
+	} else {
+		c := townCenters[r.Intn(len(townCenters))]
+		sd := placementSpread[class]
+		x = c[0] + r.Normal(0, sd)
+		y = c[1] + r.Normal(0, sd)
+	}
+	return quantizeKm(clampKm(x)), quantizeKm(clampKm(y))
+}
+
+// clampKm keeps a coordinate inside the study region. The upper bound is
+// strictly below ExtentKm so every segment falls in a grid cell under the
+// half-open [lo, hi) cell convention.
+func clampKm(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if max := ExtentKm - 0.01; v > max {
+		return max
+	}
+	return v
+}
+
+// quantizeKm rounds to 10 m register precision.
+func quantizeKm(v float64) float64 { return math.Round(v*100) / 100 }

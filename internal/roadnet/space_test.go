@@ -1,0 +1,104 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlaceSegmentStableAndInExtent(t *testing.T) {
+	for id := 0; id < 2000; id++ {
+		for class := 0; class < 4; class++ {
+			x1, y1 := placeSegment(id, class)
+			x2, y2 := placeSegment(id, class)
+			if x1 != x2 || y1 != y2 {
+				t.Fatalf("id %d class %d: placement not stable: (%v,%v) vs (%v,%v)", id, class, x1, y1, x2, y2)
+			}
+			if x1 < 0 || x1 >= ExtentKm || y1 < 0 || y1 >= ExtentKm {
+				t.Fatalf("id %d class %d: (%v,%v) outside [0,%v)", id, class, x1, y1, ExtentKm)
+			}
+			if x1 != math.Round(x1*100)/100 || y1 != math.Round(y1*100)/100 {
+				t.Fatalf("id %d class %d: (%v,%v) not at 10 m register precision", id, class, x1, y1)
+			}
+		}
+	}
+}
+
+// TestPlacementClassClustering pins the spatial structure the hotspot
+// workload relies on: busy classes sit near town centers, minor rural
+// roads spread over the whole region.
+func TestPlacementClassClustering(t *testing.T) {
+	meanCenterDist := func(class int) float64 {
+		sum := 0.0
+		const n = 3000
+		for id := 0; id < n; id++ {
+			x, y := placeSegment(id, class)
+			best := math.Inf(1)
+			for _, c := range townCenters {
+				dx, dy := x-c[0], y-c[1]
+				if d := math.Hypot(dx, dy); d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		return sum / n
+	}
+	rural, arterial := meanCenterDist(0), meanCenterDist(2)
+	if arterial >= rural/2 {
+		t.Fatalf("urban arterials not clustered: mean center distance %.1f km vs rural %.1f km", arterial, rural)
+	}
+}
+
+// TestNetworkCoordinates checks generated segments carry coordinates and
+// that the study rows expose them in the x_km/y_km columns, constant
+// across a segment's year rows.
+func TestNetworkCoordinates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Segments = 400
+	net, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[[2]float64]bool{}
+	for i := range net.Segments {
+		s := &net.Segments[i]
+		if s.XKm < 0 || s.XKm >= ExtentKm || s.YKm < 0 || s.YKm >= ExtentKm {
+			t.Fatalf("segment %d at (%v,%v) outside the study region", s.ID, s.XKm, s.YKm)
+		}
+		distinct[[2]float64{s.XKm, s.YKm}] = true
+	}
+	if len(distinct) < 300 {
+		t.Fatalf("only %d distinct placements over 400 segments", len(distinct))
+	}
+}
+
+func TestScenarioStreamCoordinateColumns(t *testing.T) {
+	opt := DefaultScenarioOptions(80)
+	s := mustScenario(t, opt)
+	xCol, yCol := -1, -1
+	for j, a := range s.Attrs() {
+		switch a.Name {
+		case AttrXKm:
+			xCol = j
+		case AttrYKm:
+			yCol = j
+		}
+	}
+	if xCol < 0 || yCol < 0 {
+		t.Fatalf("stream schema lacks %s/%s", AttrXKm, AttrYKm)
+	}
+	rows := drainScenario(t, s)
+	for i, row := range rows {
+		x, y := row[xCol], row[yCol]
+		if x < 0 || x >= ExtentKm || y < 0 || y >= ExtentKm {
+			t.Fatalf("row %d at (%v,%v) outside the study region", i, x, y)
+		}
+		// Coordinates are stable across a segment's year rows: no survey
+		// jitter, no quantization drift.
+		first := rows[(i/opt.Years)*opt.Years]
+		if x != first[xCol] || y != first[yCol] {
+			t.Fatalf("row %d: coordinates move within segment: (%v,%v) vs (%v,%v)",
+				i, x, y, first[xCol], first[yCol])
+		}
+	}
+}

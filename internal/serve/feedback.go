@@ -10,6 +10,7 @@ import (
 
 	"roadcrash/internal/artifact"
 	"roadcrash/internal/data"
+	"roadcrash/internal/eval"
 	"roadcrash/internal/metrics"
 )
 
@@ -31,13 +32,9 @@ const segmentIDAttr = "segment_id"
 var brierBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1}
 
 // loglossBuckets covers per-label log-loss: 0 at a confident correct
-// score, unbounded above (clamped by loglossClamp) for confident misses.
+// score, unbounded above (clamped by eval.LogLossClamp) for confident
+// misses.
 var loglossBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8, 16}
-
-// loglossClamp bounds the probability used in the log-loss so a hard 0 or
-// 1 score that turns out wrong contributes a large finite penalty instead
-// of +Inf (which the rolling window and histograms would drop).
-const loglossClamp = 1e-9
 
 // FeedbackLabel is one delayed ground-truth observation: the segment the
 // label is for and whether it turned out crash-prone.
@@ -252,9 +249,11 @@ func (s *Server) ingestLabel(name string, mf *modelFeedback, id int64, y float64
 		e.matched = true
 		fresh++
 		st := mf.statsFor(v, s.feedback.rolling)
-		brier := (e.risk - y) * (e.risk - y)
-		p := math.Min(1-loglossClamp, math.Max(loglossClamp, e.risk))
-		logloss := -(y*math.Log(p) + (1-y)*math.Log(1-p))
+		// The per-label contributions come from the shared eval scoring
+		// functions so the offline hotspot evaluation and this online window
+		// grade predictions identically — the drift thresholds depend on it.
+		brier := eval.BrierPoint(e.risk, y)
+		logloss := eval.LogLossPoint(e.risk, y)
 		st.brier.Add(brier)
 		st.logloss.Add(logloss)
 		samples = append(samples, sample{version: v, brier: brier, logloss: logloss})

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"roadcrash/internal/artifact"
+	"roadcrash/internal/geo"
+	"roadcrash/internal/roadnet"
+)
+
+// hotspotFixture fits a KDE surface on scenario-stream data exactly as the
+// offline pipeline does, and returns the fitted model plus a server with
+// its artifact registered.
+func hotspotFixture(t *testing.T) (*httptest.Server, *geo.Model, *Registry) {
+	t.Helper()
+	opt := roadnet.DefaultScenarioOptions(20000)
+	opt.Seed = 42
+	stream, err := roadnet.NewScenarioStream(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := geo.CollectSegments(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := geo.SplitObservations(obs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := geo.NewGrid(0, 0, roadnet.ExtentKm, roadnet.ExtentKm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := geo.FitKDE(g, train, 1, geo.DefaultKDEOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := artifact.New("grid-kde", artifact.KindHotspot, m, geo.Schema(), 0, 42, "cell_label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if _, err := reg.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(reg))
+	t.Cleanup(srv.Close)
+	return srv, m, reg
+}
+
+func getHotspots(t *testing.T, url, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/hotspots" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestHotspotsMatchesOfflineEval is the differential deliverable: the
+// served top-k ranking equals an in-process TopCells on the same fitted
+// surface, cell for cell and bit for bit.
+func TestHotspotsMatchesOfflineEval(t *testing.T) {
+	srv, m, _ := hotspotFixture(t)
+	for _, k := range []int{1, 10, 64, 1 << 20} {
+		resp, body := getHotspots(t, srv.URL, "?model=grid-kde&k="+strconv.Itoa(k))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("k=%d: status %d: %s", k, resp.StatusCode, body)
+		}
+		var hr HotspotsResponse
+		if err := json.Unmarshal(body, &hr); err != nil {
+			t.Fatal(err)
+		}
+		want := m.TopCells(k)
+		if hr.K != len(want) || len(hr.Cells) != len(want) {
+			t.Fatalf("k=%d: served %d cells, offline %d", k, len(hr.Cells), len(want))
+		}
+		for i := range want {
+			got := hr.Cells[i]
+			if got.Cell != want[i].Cell || got.XKm != want[i].XKm || got.YKm != want[i].YKm ||
+				math.Float64bits(got.Risk) != math.Float64bits(want[i].Risk) {
+				t.Fatalf("k=%d cell %d: served %+v, offline %+v", k, i, got, want[i])
+			}
+		}
+		if hr.Model != "grid-kde" || hr.Kind != artifact.KindHotspot || hr.Method != geo.MethodKDE {
+			t.Fatalf("header = %q/%q/%q", hr.Model, hr.Kind, hr.Method)
+		}
+		if hr.Grid != m.Grid {
+			t.Fatalf("served grid %+v, fitted %+v", hr.Grid, m.Grid)
+		}
+	}
+}
+
+func TestHotspotsDefaultsAndSingleModelInference(t *testing.T) {
+	srv, m, _ := hotspotFixture(t)
+	// No model and no k: the single hotspot model is inferred and k
+	// defaults.
+	resp, body := getHotspots(t, srv.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var hr HotspotsResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Model != "grid-kde" || hr.K != defaultHotspotK || len(hr.Cells) != defaultHotspotK {
+		t.Fatalf("inferred model %q with %d cells", hr.Model, len(hr.Cells))
+	}
+	if hr.Cells[0].Risk != m.TopCells(1)[0].Risk {
+		t.Fatal("default-k ranking disagrees with offline")
+	}
+}
+
+func TestHotspotsErrors(t *testing.T) {
+	srv, _, _ := hotspotFixture(t)
+	cases := []struct {
+		query string
+		code  int
+	}{
+		{"?model=ghost", http.StatusNotFound},
+		{"?k=0", http.StatusBadRequest},
+		{"?k=-3", http.StatusBadRequest},
+		{"?k=ten", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := getHotspots(t, srv.URL, c.query)
+		if resp.StatusCode != c.code {
+			t.Errorf("%q: status %d, want %d (%s)", c.query, resp.StatusCode, c.code, body)
+		}
+	}
+	// POST is refused.
+	resp, err := http.Post(srv.URL+"/hotspots", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d", resp.StatusCode)
+	}
+}
+
+func TestHotspotsRejectsNonHotspotModel(t *testing.T) {
+	// A server with only a tree model: /hotspots by name is a kind error,
+	// and without a name there is nothing to infer.
+	srv, _ := newTestServer(t)
+	resp, body := getHotspots(t, srv.URL, "?model=cp-8-tree")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = getHotspots(t, srv.URL, "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-model status %d", resp.StatusCode)
+	}
+}
+
+func TestHotspotsMetricsInstrumented(t *testing.T) {
+	srv, _, _ := hotspotFixture(t)
+	getHotspots(t, srv.URL, "?k=5")
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`crashprone_requests_total{endpoint="hotspots",code="200"}`,
+		`crashprone_model_requests_total{model="grid-kde",endpoint="hotspots"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestHotspotsAmbiguousWithoutModelParam(t *testing.T) {
+	// Two hotspot surfaces loaded: the inference shorthand must refuse to
+	// guess.
+	_, m, reg := hotspotFixture(t)
+	b, err := artifact.New("grid-two", artifact.KindHotspot, m, geo.Schema(), 0, 7, "cell_label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(reg))
+	t.Cleanup(srv.Close)
+	resp, body := getHotspots(t, srv.URL, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// Naming either model still works.
+	resp, _ = getHotspots(t, srv.URL, "?model=grid-two&k=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("named model status %d", resp.StatusCode)
+	}
+}

@@ -302,6 +302,7 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/score", s.admit("score", s.handleScore))
 	mux.HandleFunc("/score/stream", s.admit("stream", s.handleStream))
+	mux.HandleFunc("/hotspots", s.admit("hotspots", s.handleHotspots))
 	if s.cfg.ReloadDir != "" {
 		mux.HandleFunc("/reload", s.handleReload)
 		mux.HandleFunc("/reload/prepare", s.handleReloadPrepare)
